@@ -1,0 +1,639 @@
+package xcbc
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Custom metrics carry
+// the reproduced quantities so bench output doubles as the experiment
+// record:
+//
+//	Table 1/2  -> catalog/table generation          (BenchmarkTable1..2)
+//	Table 3    -> deployed-cluster inventory        (BenchmarkTable3...)
+//	Table 4    -> luggable cluster characteristics  (BenchmarkTable4...)
+//	Table 5    -> Rpeak/Rmax/price-performance      (BenchmarkTable5...)
+//	Fig 1-3    -> ASCII chassis renders             (BenchmarkFigure...)
+//	§3         -> XCBC vs XNIT build paths, update policies
+//	§5.1/5.2   -> CPU ablation, power management
+//	§2/§6      -> scheduler portability
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/core"
+	"xcbc/internal/depsolve"
+	"xcbc/internal/gridftp"
+	"xcbc/internal/hpl"
+	"xcbc/internal/monitor"
+	"xcbc/internal/mpi"
+	"xcbc/internal/power"
+	"xcbc/internal/provision"
+	"xcbc/internal/repo"
+	"xcbc/internal/report"
+	"xcbc/internal/rpm"
+	"xcbc/internal/sched"
+	"xcbc/internal/sim"
+	"xcbc/internal/verify"
+	"xcbc/internal/workload"
+)
+
+// BenchmarkTable1XCBCBuild regenerates Table 1 (XCBC build part 1).
+func BenchmarkTable1XCBCBuild(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table1()
+	}
+	b.ReportMetric(float64(len(core.Table1())), "rows")
+	_ = out
+}
+
+// BenchmarkTable2CompatSet regenerates Table 2 (XSEDE run-alike packages).
+func BenchmarkTable2CompatSet(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table2()
+	}
+	n := 0
+	for _, row := range core.Table2() {
+		n += len(row.Packages)
+	}
+	b.ReportMetric(float64(n), "packages")
+	_ = out
+}
+
+// BenchmarkTable3DeployedClusters rebuilds every Table 3 site cluster and
+// reports the aggregate Rpeak (paper: 49.61 TF).
+func BenchmarkTable3DeployedClusters(b *testing.B) {
+	var totalTF float64
+	for i := 0; i < b.N; i++ {
+		totalTF = 0
+		for _, row := range report.Table3Rows() {
+			totalTF += row.TFlops
+		}
+	}
+	b.ReportMetric(totalTF, "total_TF")
+}
+
+// BenchmarkTable4Characteristics regenerates Table 4.
+func BenchmarkTable4Characteristics(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table4()
+	}
+	_ = out
+}
+
+// BenchmarkTable5PricePerformance runs the calibrated HPL model for both
+// luggable clusters (paper: LittleFe 537.6/403.2* GF at $7/$9 per GFLOPS;
+// Limulus 793.6/498.3 GF at $8/$12).
+func BenchmarkTable5PricePerformance(b *testing.B) {
+	var rows []report.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = report.Table5Rows()
+	}
+	b.ReportMetric(rows[0].RmaxGF, "littlefe_rmax_GF")
+	b.ReportMetric(rows[1].RmaxGF, "limulus_rmax_GF")
+	b.ReportMetric(rows[0].DollarPerGFPeak, "littlefe_$/GF_peak")
+	b.ReportMetric(rows[1].DollarPerGFPeak, "limulus_$/GF_peak")
+}
+
+// BenchmarkFigure1LittleFeRear renders the Figure 1 substitute.
+func BenchmarkFigure1LittleFeRear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2LittleFeFront renders the Figure 2 substitute.
+func BenchmarkFigure2LittleFeFront(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3LimulusInternals renders the Figure 3 substitute.
+func BenchmarkFigure3LimulusInternals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXCBCFromScratch measures the complete §3 from-scratch build on
+// the modified LittleFe and reports the simulated install duration.
+func BenchmarkXCBCFromScratch(b *testing.B) {
+	var d *core.Deployment
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		var err error
+		d, err = core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: "torque"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.InstallDuration.Seconds(), "sim_install_s")
+	b.ReportMetric(float64(d.PackagesInstalled), "packages")
+}
+
+// BenchmarkXNITAdoption measures the §3 incremental path: converting a
+// running diskless Limulus with the XNIT repository.
+func BenchmarkXNITAdoption(b *testing.B) {
+	var simSecs float64
+	var installs int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c := cluster.NewLimulusHPC200()
+		base := []*rpm.Package{rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build()}
+		if err := provision.VendorProvision(eng, c, "Scientific Linux 6.5", base); err != nil {
+			b.Fatal(err)
+		}
+		d, err := core.NewVendorDeployment(eng, c, "", core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		xnit, err := core.NewXNITRepository()
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.ConfigureXNIT(d, xnit)
+		start := eng.Now()
+		n1, err := d.InstallProfile("compilers")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n2, err := d.InstallProfile("chemistry")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.ChangeScheduler("torque"); err != nil {
+			b.Fatal(err)
+		}
+		simSecs = (eng.Now() - start).Duration().Seconds()
+		installs = n1 + n2
+	}
+	b.ReportMetric(simSecs, "sim_install_s")
+	b.ReportMetric(float64(installs), "packages")
+}
+
+// BenchmarkUpdateCheck measures the §3 periodic update check across a
+// converted cluster after the repository publishes updates.
+func BenchmarkUpdateCheck(b *testing.B) {
+	eng := sim.NewEngine()
+	d, err := core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: "torque"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.ConfigureXNIT(d, xnit)
+	if err := xnit.Publish(
+		rpm.NewPackage("gcc", "4.4.7-17.el6", rpm.ArchX86_64).
+			Requires(rpm.Cap("glibc"), rpm.Cap("gmp"), rpm.Cap("mpfr")).Build(),
+		rpm.NewPackage("R", "3.1.2-1.el6", rpm.ArchX86_64).Requires(rpm.Cap("R-core")).Build(),
+	); err != nil {
+		b.Fatal(err)
+	}
+	when := time.Date(2015, 3, 1, 6, 0, 0, 0, time.UTC)
+	var pending int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		notes := d.RunUpdateCheckEverywhere(depsolve.PolicyNotify, when)
+		pending = 0
+		for _, n := range notes {
+			pending += len(n.Pending)
+		}
+	}
+	b.ReportMetric(float64(pending), "updates_pending")
+}
+
+// BenchmarkLittleFeCPUAblation reproduces §5.1's design trade: the Atom
+// D510 original versus the Celeron G1840 modification, in modelled Rmax and
+// CPU power (paper: 10.56 W vs 43.06 W per CPU).
+func BenchmarkLittleFeCPUAblation(b *testing.B) {
+	var atomRmax, celeronRmax float64
+	for i := 0; i < b.N; i++ {
+		orig := cluster.NewLittleFeOriginal()
+		mod := cluster.NewLittleFe()
+		atomRmax = hpl.Model(orig, hpl.ProblemSize(orig, 0.8), hpl.ModelParams{}).RmaxGF
+		celeronRmax = hpl.Model(mod, hpl.ProblemSize(mod, 0.8), hpl.ModelParams{}).RmaxGF
+	}
+	b.ReportMetric(atomRmax, "atom_rmax_GF")
+	b.ReportMetric(celeronRmax, "celeron_rmax_GF")
+	b.ReportMetric(cluster.AtomD510.Watts, "atom_W")
+	b.ReportMetric(cluster.CeleronG1840.Watts, "celeron_W")
+}
+
+// BenchmarkPowerManagement reproduces §5.2's Limulus power management:
+// energy for an 8-hour day with a 10-minute burst workload, always-on vs
+// on-demand.
+func BenchmarkPowerManagement(b *testing.B) {
+	run := func(policy power.Policy) float64 {
+		eng := sim.NewEngine()
+		c := cluster.NewLimulusHPC200()
+		c.PowerOnAll()
+		batch := sched.NewManager(eng, c, sched.TorqueMaui{})
+		pm := power.NewManager(eng, c, batch, policy)
+		pm.IdleGrace = 5 * time.Minute
+		if _, err := batch.Submit(&sched.Job{
+			Name: "burst", User: "u", Cores: 12,
+			Walltime: time.Hour, Runtime: 10 * time.Minute,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		eng.RunUntil(sim.Time(8 * time.Hour))
+		return pm.Finalize()
+	}
+	var alwaysOn, onDemand float64
+	for i := 0; i < b.N; i++ {
+		alwaysOn = run(power.AlwaysOn)
+		onDemand = run(power.OnDemand)
+	}
+	b.ReportMetric(alwaysOn, "always_on_Wh")
+	b.ReportMetric(onDemand, "on_demand_Wh")
+	b.ReportMetric(100*(1-onDemand/alwaysOn), "saving_pct")
+}
+
+// BenchmarkSchedulerPortability runs the same workload through all three
+// Table 1 schedulers via the portable command layer (§2's compatibility
+// claim), reporting mean job turnaround per scheduler.
+func BenchmarkSchedulerPortability(b *testing.B) {
+	for _, schName := range core.Schedulers {
+		b.Run(schName, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				d, err := core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: schName})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmds := []string{
+					"qsub -N a -l nodes=2:ppn=2,walltime=01:00:00 -u alice a.sh",
+					"qsub -N b -l nodes=1:ppn=2,walltime=00:30:00 -u bob b.sh",
+					"qsub -N c -l nodes=5:ppn=2,walltime=02:00:00 -u carol c.sh",
+				}
+				if schName == "slurm" {
+					cmds = []string{
+						"sbatch -J a -n 4 -t 60 -u alice a.sh",
+						"sbatch -J b -n 2 -t 30 -u bob b.sh",
+						"sbatch -J c -n 10 -t 120 -u carol c.sh",
+					}
+				}
+				for _, cmd := range cmds {
+					if _, err := d.Exec(cmd); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Run()
+				total := 0.0
+				for _, j := range d.Batch.History() {
+					total += j.Turnaround().Seconds()
+				}
+				mean = total / float64(len(d.Batch.History()))
+			}
+			b.ReportMetric(mean, "mean_turnaround_s")
+		})
+	}
+}
+
+// BenchmarkHPLKernel measures the real LU factorization at several sizes
+// (actual host GFLOPS; validates with the HPL residual).
+func BenchmarkHPLKernel(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			var gflops float64
+			for i := 0; i < b.N; i++ {
+				res, err := hpl.Run(n, 64, 4, 42, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Pass {
+					b.Fatalf("residual check failed: %v", res)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "host_GFLOPS")
+		})
+	}
+}
+
+// BenchmarkHPLWorkerScaling shows the parallel trailing-update scaling of
+// the LU kernel across worker counts.
+func BenchmarkHPLWorkerScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, _ := hpl.RandomSystem(384, 42)
+				if _, err := hpl.Factor(a, 64, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDepsolveGromacsClosure measures dependency resolution for the
+// deepest closure in the catalog.
+func BenchmarkDepsolveGromacsClosure(b *testing.B) {
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := repo.NewSet(repo.Config{Repo: xnit, Priority: core.XNITPriority, Enabled: true})
+	b.ResetTimer()
+	var txLen int
+	for i := 0; i < b.N; i++ {
+		res := depsolve.New(set, rpm.NewDB())
+		tx, err := res.Install("gromacs", "trinity", "octave", "R-devel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		txLen = tx.Len()
+	}
+	b.ReportMetric(float64(txLen), "tx_elements")
+}
+
+// BenchmarkVercmp measures the RPM version comparator on the reference
+// corpus.
+func BenchmarkVercmp(b *testing.B) {
+	pairs := [][2]string{
+		{"1.0~rc1", "1.0"}, {"2.6.32-431.el6", "2.6.32-504.el6"},
+		{"10.0001", "10.0039"}, {"1.0^git1", "1.01"}, {"4.999.9", "5.0"},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			rpm.Vercmp(p[0], p[1])
+		}
+	}
+}
+
+// BenchmarkMPIAllreduce measures the message-passing runtime's allreduce
+// across 16 ranks (one per Limulus core).
+func BenchmarkMPIAllreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := mpi.NewWorld(16, cluster.GigabitEthernet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = w.Run(func(c *mpi.Comm) error {
+			buf := []float64{float64(c.Rank())}
+			return c.Allreduce(buf, mpi.OpSum)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackfillAblation quantifies what Maui adds over plain
+// FIFO Torque (an XCBC design choice DESIGN.md calls out): the same
+// 60-job trace, backfill on vs off.
+func BenchmarkBackfillAblation(b *testing.B) {
+	run := func(p sched.Policy) workload.Stats {
+		c := cluster.NewLittleFe()
+		c.PowerOnAll()
+		eng := sim.NewEngine()
+		m := sched.NewManager(eng, c, p)
+		workload.Replay(eng, m, workload.Generate(workload.Spec{
+			Seed: 11, Jobs: 60, CoresMax: 10, MeanInterarrival: 2 * time.Minute,
+		}))
+		eng.Run()
+		return workload.Collect(m)
+	}
+	var with, without workload.Stats
+	for i := 0; i < b.N; i++ {
+		with = run(sched.TorqueMaui{})
+		without = run(sched.PlainFIFO{})
+	}
+	b.ReportMetric(with.MeanWait.Seconds(), "maui_mean_wait_s")
+	b.ReportMetric(without.MeanWait.Seconds(), "fifo_mean_wait_s")
+	b.ReportMetric(with.Makespan.Seconds(), "maui_makespan_s")
+	b.ReportMetric(without.Makespan.Seconds(), "fifo_makespan_s")
+}
+
+// BenchmarkSchedulerWorkloadComparison runs an identical 80-job trace
+// through all three Table 1 schedulers and reports mean waits — the
+// quantitative version of the "choose one" guidance.
+func BenchmarkSchedulerWorkloadComparison(b *testing.B) {
+	for _, name := range core.Schedulers {
+		b.Run(name, func(b *testing.B) {
+			var st workload.Stats
+			for i := 0; i < b.N; i++ {
+				c := cluster.NewLittleFe()
+				c.PowerOnAll()
+				eng := sim.NewEngine()
+				policy, _ := sched.PolicyByName(name)
+				m := sched.NewManager(eng, c, policy)
+				workload.Replay(eng, m, workload.Generate(workload.Spec{
+					Seed: 23, Jobs: 80, CoresMax: 10, MeanInterarrival: 3 * time.Minute,
+				}))
+				eng.Run()
+				st = workload.Collect(m)
+			}
+			b.ReportMetric(st.MeanWait.Seconds(), "mean_wait_s")
+			b.ReportMetric(st.P95Wait.Seconds(), "p95_wait_s")
+			b.ReportMetric(100*st.Utilization, "util_pct")
+		})
+	}
+}
+
+// BenchmarkNetworkAblation sweeps the interconnect under the HPL model on
+// Limulus hardware: the GigE both machines ship with versus upgrades, the
+// efficiency knob the paper's deskside price points implicitly trade away.
+func BenchmarkNetworkAblation(b *testing.B) {
+	nets := []cluster.Network{cluster.GigabitEthernet, cluster.TenGigEthernet, cluster.InfinibandQDR}
+	for _, net := range nets {
+		b.Run(net.Type, func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				c := cluster.NewLimulusHPC200()
+				c.Network = net
+				eff = hpl.Model(c, hpl.ProblemSize(c, 0.8), hpl.ModelParams{}).Efficiency
+			}
+			b.ReportMetric(100*eff, "hpl_eff_pct")
+		})
+	}
+}
+
+// BenchmarkHPLBlockSize sweeps the LU block size on a real solve; the
+// interior block sizes should dominate the degenerate ones.
+func BenchmarkHPLBlockSize(b *testing.B) {
+	for _, nb := range []int{8, 32, 64, 128} {
+		b.Run(fmt.Sprintf("NB%d", nb), func(b *testing.B) {
+			var gflops float64
+			for i := 0; i < b.N; i++ {
+				res, err := hpl.Run(384, nb, 4, 42, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gflops = res.GFLOPS
+			}
+			b.ReportMetric(gflops, "host_GFLOPS")
+		})
+	}
+}
+
+// BenchmarkGridFTPStaging measures the campus-bridging data path: staging
+// 2.5 GB from a campus 1 Gbit endpoint to a 10 Gbit national endpoint.
+func BenchmarkGridFTPStaging(b *testing.B) {
+	var dur time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		svc := gridftp.NewService(eng)
+		campus := gridftp.NewEndpoint("littlefe#data", "IU", 1)
+		national := gridftp.NewEndpoint("hyalite#scratch", "MSU", 10)
+		campus.Put("/data/traj.trr", 2.5e9)
+		x, err := svc.Submit(campus, "/data/traj.trr", national, "/scratch/traj.trr")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		if x.State != gridftp.TransferSucceeded || !x.Verified {
+			b.Fatalf("transfer: %v", x.Err)
+		}
+		dur = x.Duration()
+	}
+	b.ReportMetric(dur.Seconds(), "sim_transfer_s")
+}
+
+// BenchmarkClusterVerify sweeps the health checker over a full XCBC
+// LittleFe (the maintenance workflow of §3/§4).
+func BenchmarkClusterVerify(b *testing.B) {
+	eng := sim.NewEngine()
+	d, err := core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: "torque"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chk := &verify.Checker{
+		Cluster:          d.Cluster,
+		DB:               d.Installer.DB,
+		ComputeServices:  []string{"pbs_mom", "gmond"},
+		FrontendServices: []string{"pbs_server", "maui", "gmetad"},
+	}
+	b.ResetTimer()
+	var healthy bool
+	for i := 0; i < b.N; i++ {
+		healthy = chk.Run().Healthy()
+	}
+	if !healthy {
+		b.Fatal("fresh build should verify healthy")
+	}
+}
+
+// BenchmarkMonitorPoll measures one gmetad poll round over the largest
+// Table 3 cluster (KU, 220 nodes).
+func BenchmarkMonitorPoll(b *testing.B) {
+	c := cluster.NewKansas()
+	c.PowerOnAll()
+	agg := monitor.NewAggregator(c, 64, func(string) float64 { return 0.5 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Poll(sim.Time(i))
+	}
+}
+
+// BenchmarkNodeFailureRecovery measures failure handling: a node dies under
+// a full-machine job; the job requeues and completes after repair.
+func BenchmarkNodeFailureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := cluster.NewLittleFe()
+		c.PowerOnAll()
+		eng := sim.NewEngine()
+		m := sched.NewManager(eng, c, sched.TorqueMaui{})
+		id, err := m.Submit(&sched.Job{Name: "j", User: "u", Cores: 10,
+			Walltime: time.Hour, Runtime: 30 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.NodeFail("compute-0-2"); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.NodeRepair("compute-0-2"); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		j, _ := m.Job(id)
+		if j.State != sched.StateCompleted {
+			b.Fatalf("job state = %v", j.State)
+		}
+	}
+}
+
+// BenchmarkDistributedHPL runs the true distributed-memory LU over the MPI
+// runtime at Limulus scale (4 ranks, one per node) and reports the modelled
+// communication time on its GigE fabric.
+func BenchmarkDistributedHPL(b *testing.B) {
+	var res hpl.DistributedResult
+	for i := 0; i < b.N; i++ {
+		w, err := mpi.NewWorld(4, cluster.GigabitEthernet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = hpl.DistributedSolve(w, 64, 8, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("residual: %v", res.Residual)
+		}
+	}
+	b.ReportMetric(1000*res.CommSeconds, "sim_comm_ms")
+}
+
+// BenchmarkScalingCurveModel computes the extension scaling curve: a
+// LittleFe-class machine grown to 16 nodes on GigE.
+func BenchmarkScalingCurveModel(b *testing.B) {
+	var points []hpl.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		points = hpl.ScalingCurve(cluster.CeleronG1840, 8, 16, cluster.GigabitEthernet, hpl.ModelParams{})
+	}
+	b.ReportMetric(100*points[len(points)-1].Efficiency, "eff_at_16_nodes_pct")
+}
+
+// BenchmarkSimEngine measures raw discrete-event throughput (events/op).
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		var tick func(*sim.Engine)
+		count := 0
+		tick = func(e *sim.Engine) {
+			count++
+			if count < 10000 {
+				e.After(time.Second, "tick", tick)
+			}
+		}
+		eng.After(time.Second, "tick", tick)
+		eng.Run()
+	}
+}
+
+// BenchmarkTiledUpdate compares the naive and cache-tiled trailing-update
+// LU kernels at N=512 (kernel ablation).
+func BenchmarkTiledUpdate(b *testing.B) {
+	variants := []struct {
+		name string
+		run  func(a *hpl.Matrix) error
+	}{
+		{"naive", func(a *hpl.Matrix) error { _, err := hpl.Factor(a, 64, 4); return err }},
+		{"tiled", func(a *hpl.Matrix) error { _, err := hpl.FactorTiled(a, 64, 128, 4); return err }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a, _ := hpl.RandomSystem(512, 42)
+				b.StartTimer()
+				if err := v.run(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

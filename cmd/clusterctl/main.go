@@ -1,0 +1,95 @@
+// Command clusterctl builds an XCBC cluster, replays a small batch workload
+// through the portable command layer, and prints scheduler, monitoring, and
+// power reports — a one-command tour of the running system.
+//
+// Usage:
+//
+//	clusterctl -cluster littlefe -scheduler torque
+//	clusterctl -cluster limulus -power on-demand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/core"
+	"xcbc/internal/power"
+	"xcbc/internal/sim"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "littlefe", "cluster: littlefe or marshall (XCBC path)")
+	scheduler := flag.String("scheduler", "torque", "torque, slurm, or sge")
+	powerPolicy := flag.String("power", "always-on", "always-on, on-demand, or scheduled")
+	flag.Parse()
+
+	builders := map[string]func() *cluster.Cluster{
+		"littlefe": cluster.NewLittleFe,
+		"marshall": cluster.NewMarshall,
+		"howard":   cluster.NewHoward,
+	}
+	build, ok := builders[*clusterName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clusterctl: unknown cluster %q\n", *clusterName)
+		os.Exit(2)
+	}
+	policies := map[string]power.Policy{
+		"always-on": power.AlwaysOn, "on-demand": power.OnDemand, "scheduled": power.Scheduled,
+	}
+	policy, ok := policies[*powerPolicy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clusterctl: unknown power policy %q\n", *powerPolicy)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	d, err := core.BuildXCBC(eng, build(), core.Options{Scheduler: *scheduler, PowerPolicy: policy})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("built %s with %s in %v (simulated)\n\n", d.Cluster.Name, *scheduler, d.InstallDuration)
+
+	// Replay a small workload with the user-facing commands.
+	var cmds []string
+	if *scheduler == "slurm" {
+		cmds = []string{
+			"sbatch -J md-relax -n 4 -t 60 -u alice relax.sh",
+			"sbatch -J blast -n 2 -t 30 -u bob blast.sh",
+			"sbatch -J assembly -n 8 -t 120 -u carol trinity.sh",
+		}
+	} else {
+		cmds = []string{
+			"qsub -N md-relax -l nodes=2:ppn=2,walltime=01:00:00 -u alice relax.sh",
+			"qsub -N blast -l nodes=1:ppn=2,walltime=00:30:00 -u bob blast.sh",
+			"qsub -N assembly -l nodes=4:ppn=2,walltime=02:00:00 -u carol trinity.sh",
+		}
+	}
+	for _, cmd := range cmds {
+		out, err := d.Exec(cmd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("$ %s\n%s\n", cmd, out)
+	}
+	status := "qstat"
+	if *scheduler == "slurm" {
+		status = "squeue"
+	}
+	out, _ := d.Exec(status)
+	fmt.Printf("$ %s\n%s\n", status, out)
+
+	// Monitor while the workload runs.
+	d.Monitor.Start(eng, time.Minute, 30)
+	eng.RunUntil(eng.Now() + sim.Time(30*time.Minute))
+	fmt.Print(d.Monitor.Report())
+
+	eng.Run()
+	total := d.Power.Finalize()
+	fmt.Printf("\nworkload complete at %v; %d jobs finished; energy %.1f Wh (policy %s)\n",
+		eng.Now(), len(d.Batch.History()), total, *powerPolicy)
+}

@@ -1,0 +1,39 @@
+// Command repo-server serves the XNIT repository over HTTP the way the
+// XSEDE Campus Bridging team served cb-repo.iu.xsede.org: a README with the
+// yum configuration stanza at /, metadata at /{repo}/repodata/repomd.json,
+// and package records under /{repo}/packages/.
+//
+// Usage:
+//
+//	repo-server -addr :8080
+//	curl localhost:8080/                       # readme.xsederepo
+//	curl localhost:8080/xsede/repodata/repomd.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"xcbc/internal/core"
+	"xcbc/internal/repo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repo-server:", err)
+		os.Exit(1)
+	}
+	srv := repo.NewServer(nil, xnit)
+	fmt.Printf("serving XSEDE Yum repository (%d packages) on %s\n", xnit.Len(), *addr)
+	fmt.Println("routes: /  /xsede/repodata/repomd.json  /xsede/packages/{nevra}.rpm")
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "repo-server:", err)
+		os.Exit(1)
+	}
+}

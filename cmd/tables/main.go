@@ -1,0 +1,62 @@
+// Command tables regenerates every table and figure from the paper's
+// evaluation section. With no flags it prints everything; -table N or
+// -figure N selects one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/hpl"
+	"xcbc/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table N (1-5)")
+	figure := flag.Int("figure", 0, "print only the substitute for figure N (1-3)")
+	projection := flag.Bool("projection", false, "print the 2020 half-PFLOPS adoption projection (extension)")
+	scaling := flag.Bool("scaling", false, "print the LittleFe-class HPL scaling curve (extension)")
+	flag.Parse()
+
+	switch {
+	case *projection:
+		fmt.Print(report.RenderProjection())
+		return
+	case *scaling:
+		points := hpl.ScalingCurve(cluster.CeleronG1840, 8, 16, cluster.GigabitEthernet, hpl.ModelParams{})
+		fmt.Print(hpl.RenderScalingCurve(points, "LittleFe-class weak scaling over GigE (extension figure)"))
+		return
+	case *table != 0 && *figure != 0:
+		fmt.Fprintln(os.Stderr, "tables: use -table or -figure, not both")
+		os.Exit(2)
+	case *table != 0:
+		var out string
+		switch *table {
+		case 1:
+			out = report.Table1()
+		case 2:
+			out = report.Table2()
+		case 3:
+			out = report.Table3()
+		case 4:
+			out = report.Table4()
+		case 5:
+			out = report.Table5()
+		default:
+			fmt.Fprintf(os.Stderr, "tables: the paper has tables 1-5, not %d\n", *table)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	case *figure != 0:
+		fig, err := report.Figure(*figure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(2)
+		}
+		fmt.Print(fig)
+	default:
+		fmt.Print(report.All())
+	}
+}

@@ -1,0 +1,13 @@
+// Package xcbc is a full reproduction of "XCBC and XNIT — Tools for Cluster
+// Implementation and Management in Research and Training" (CLUSTER 2015):
+// the XSEDE-compatible basic cluster build (a Rocks roll installed from
+// scratch on bare metal) and the XSEDE National Integration Toolkit (a Yum
+// repository used to convert existing clusters in place), together with
+// every substrate they depend on, implemented in pure Go over a simulated
+// hardware layer.
+//
+// Start with internal/core (the contribution), DESIGN.md (system inventory
+// and experiment index), and EXPERIMENTS.md (paper-vs-measured for every
+// table and figure). The bench harness in bench_test.go regenerates each
+// table and figure; cmd/tables prints them.
+package xcbc

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is a cluster interconnect with a simple latency/bandwidth cost
+// model, used by the MPI runtime and the HPL efficiency model.
+type Network struct {
+	Name      string
+	Type      string  // "GigE", "10GigE", "IB-QDR"
+	GBits     float64 // per-link bandwidth
+	LatencyUs float64 // one-way small-message latency
+}
+
+// Common interconnects. Both luggable clusters use gigabit Ethernet.
+var (
+	GigabitEthernet = Network{Name: "private", Type: "GigE", GBits: 1.0, LatencyUs: 50}
+	TenGigEthernet  = Network{Name: "private", Type: "10GigE", GBits: 10.0, LatencyUs: 20}
+	InfinibandQDR   = Network{Name: "ib", Type: "IB-QDR", GBits: 32.0, LatencyUs: 1.5}
+)
+
+// BytesPerSec returns the link bandwidth in bytes/second.
+func (n Network) BytesPerSec() float64 { return n.GBits * 1e9 / 8 }
+
+// Cluster is a frontend plus compute nodes on a private network — the shape
+// Rocks manages and the shape both LittleFe and Limulus take.
+type Cluster struct {
+	Name     string
+	Site     string
+	Frontend *Node
+	Computes []*Node
+	Network  Network
+	CostUSD  float64
+	Notes    string
+}
+
+// New creates a cluster with the given frontend and network.
+func New(name, site string, frontend *Node, network Network) *Cluster {
+	return &Cluster{Name: name, Site: site, Frontend: frontend, Network: network}
+}
+
+// AddCompute appends compute nodes.
+func (c *Cluster) AddCompute(nodes ...*Node) *Cluster {
+	c.Computes = append(c.Computes, nodes...)
+	return c
+}
+
+// Nodes returns all nodes, frontend first.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.Computes)+1)
+	if c.Frontend != nil {
+		out = append(out, c.Frontend)
+	}
+	out = append(out, c.Computes...)
+	return out
+}
+
+// NodeCount returns the total number of nodes.
+func (c *Cluster) NodeCount() int { return len(c.Nodes()) }
+
+// Lookup finds a node by name.
+func (c *Cluster) Lookup(name string) (*Node, bool) {
+	for _, n := range c.Nodes() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Cores returns the total core count across all nodes.
+func (c *Cluster) Cores() int {
+	total := 0
+	for _, n := range c.Nodes() {
+		total += n.Cores()
+	}
+	return total
+}
+
+// ComputeCores returns the core count across compute nodes only.
+func (c *Cluster) ComputeCores() int {
+	total := 0
+	for _, n := range c.Computes {
+		total += n.Cores()
+	}
+	return total
+}
+
+// RpeakGFLOPS returns the theoretical peak performance in GFLOPS across all
+// nodes, the quantity Tables 3-5 call Rpeak.
+func (c *Cluster) RpeakGFLOPS() float64 {
+	total := 0.0
+	for _, n := range c.Nodes() {
+		total += n.GFLOPS()
+	}
+	return total
+}
+
+// DrawWatts returns the cluster's current total power draw.
+func (c *Cluster) DrawWatts() float64 {
+	total := 0.0
+	for _, n := range c.Nodes() {
+		total += n.DrawWatts()
+	}
+	return total
+}
+
+// EnergyWh returns total accumulated energy across nodes.
+func (c *Cluster) EnergyWh() float64 {
+	total := 0.0
+	for _, n := range c.Nodes() {
+		total += n.EnergyWh()
+	}
+	return total
+}
+
+// PowerOnAll powers every node on.
+func (c *Cluster) PowerOnAll() {
+	for _, n := range c.Nodes() {
+		n.SetPower(PowerOn)
+	}
+}
+
+// PriceGFLOPSRpeak returns dollars per peak GFLOPS ($/GFLOPS in Table 5).
+func (c *Cluster) PriceGFLOPSRpeak() float64 {
+	r := c.RpeakGFLOPS()
+	if r == 0 {
+		return 0
+	}
+	return c.CostUSD / r
+}
+
+// Validate checks structural invariants: unique node names, every NIC wired
+// to a network, compute nodes present.
+func (c *Cluster) Validate() error {
+	if c.Frontend == nil {
+		return fmt.Errorf("cluster %s: no frontend", c.Name)
+	}
+	seen := make(map[string]bool)
+	for _, n := range c.Nodes() {
+		if seen[n.Name] {
+			return fmt.Errorf("cluster %s: duplicate node name %s", c.Name, n.Name)
+		}
+		seen[n.Name] = true
+		if len(n.NICs) == 0 {
+			return fmt.Errorf("cluster %s: node %s has no NIC", c.Name, n.Name)
+		}
+	}
+	if len(c.Computes) == 0 {
+		return fmt.Errorf("cluster %s: no compute nodes", c.Name)
+	}
+	return nil
+}
+
+// Summary returns a one-line description like Table 3's rows.
+func (c *Cluster) Summary() string {
+	return fmt.Sprintf("%s: %d nodes, %d cores, %.2f TFLOPS Rpeak",
+		c.Name, c.NodeCount(), c.Cores(), c.RpeakGFLOPS()/1000)
+}
+
+// SortedNodeNames returns node names in sorted order (stable output for
+// reports).
+func (c *Cluster) SortedNodeNames() []string {
+	names := make([]string, 0, c.NodeCount())
+	for _, n := range c.Nodes() {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}

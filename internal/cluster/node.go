@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xcbc/internal/rpm"
+)
+
+// Role is a node's appliance type in Rocks terminology.
+type Role string
+
+// Node roles.
+const (
+	RoleFrontend Role = "frontend"
+	RoleCompute  Role = "compute"
+	RoleLogin    Role = "login"
+	RoleNAS      Role = "nas"
+)
+
+// PowerState is whether a node is powered.
+type PowerState int
+
+// Power states.
+const (
+	PowerOff PowerState = iota
+	PowerOn
+)
+
+func (p PowerState) String() string {
+	if p == PowerOn {
+		return "on"
+	}
+	return "off"
+}
+
+// Disk is local storage attached to a node. Rocks-based provisioning
+// requires at least one disk; diskless nodes can only be provisioned by
+// vendor tooling (the Limulus case in the paper).
+type Disk struct {
+	Model      string
+	SizeGB     int
+	FormFactor string // "2.5in", "mSATA", "3.5in"
+}
+
+// NIC is a network interface.
+type NIC struct {
+	Name    string // eth0, eth1
+	GBits   float64
+	Network string // name of the attached network, "" if unwired
+}
+
+// Node is a single machine: hardware description plus mutable system state
+// (power, installed packages, running services, attributes).
+type Node struct {
+	Name    string
+	Role    Role
+	CPU     CPUModel
+	Sockets int // number of CPU packages
+	RAMGB   int
+	Disks   []Disk
+	NICs    []NIC
+	Accels  []Accelerator
+
+	mu        sync.Mutex
+	power     PowerState
+	packages  *rpm.DB
+	services  map[string]bool
+	attrs     map[string]string
+	os        string // installed operating system, "" if bare metal
+	bootCount int
+	energyWh  float64 // accumulated energy, maintained by internal/power
+}
+
+// NewNode creates a powered-off, bare-metal node.
+func NewNode(name string, role Role, cpu CPUModel, sockets, ramGB int) *Node {
+	if sockets < 1 {
+		sockets = 1
+	}
+	return &Node{
+		Name:     name,
+		Role:     role,
+		CPU:      cpu,
+		Sockets:  sockets,
+		RAMGB:    ramGB,
+		packages: rpm.NewDB(),
+		services: make(map[string]bool),
+		attrs:    make(map[string]string),
+	}
+}
+
+// AddDisk attaches a disk and returns the node for chaining.
+func (n *Node) AddDisk(d Disk) *Node {
+	n.Disks = append(n.Disks, d)
+	return n
+}
+
+// AddNIC attaches a network interface and returns the node for chaining.
+func (n *Node) AddNIC(nic NIC) *Node {
+	n.NICs = append(n.NICs, nic)
+	return n
+}
+
+// AddAccelerator attaches an accelerator and returns the node for chaining.
+func (n *Node) AddAccelerator(a Accelerator) *Node {
+	n.Accels = append(n.Accels, a)
+	return n
+}
+
+// Cores returns the node's total core count.
+func (n *Node) Cores() int { return n.CPU.Cores * n.Sockets }
+
+// GFLOPS returns the node's peak DP GFLOPS including accelerators.
+func (n *Node) GFLOPS() float64 {
+	g := n.CPU.GFLOPS() * float64(n.Sockets)
+	for _, a := range n.Accels {
+		g += a.GFLOPSEach
+	}
+	return g
+}
+
+// HasDisk reports whether the node has any local disk (the Rocks
+// provisioning prerequisite).
+func (n *Node) HasDisk() bool { return len(n.Disks) > 0 }
+
+// Power returns the node's power state.
+func (n *Node) Power() PowerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.power
+}
+
+// SetPower switches the node on or off. Powering on increments the boot
+// counter.
+func (n *Node) SetPower(p PowerState) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == PowerOn && n.power == PowerOff {
+		n.bootCount++
+	}
+	n.power = p
+}
+
+// BootCount returns how many times the node has been powered on.
+func (n *Node) BootCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bootCount
+}
+
+// DrawWatts returns the node's current power draw: zero when off, otherwise
+// CPU package power plus a fixed board/PSU overhead plus per-disk power.
+func (n *Node) DrawWatts() float64 {
+	if n.Power() == PowerOff {
+		return 0
+	}
+	const boardOverhead = 15.0
+	const perDisk = 2.0
+	w := n.CPU.Watts*float64(n.Sockets) + boardOverhead + perDisk*float64(len(n.Disks))
+	for _, a := range n.Accels {
+		w += a.WattsEach
+	}
+	return w
+}
+
+// AddEnergy accumulates consumed energy in watt-hours.
+func (n *Node) AddEnergy(wh float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.energyWh += wh
+}
+
+// EnergyWh returns accumulated energy in watt-hours.
+func (n *Node) EnergyWh() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.energyWh
+}
+
+// Packages returns the node's installed-package database.
+func (n *Node) Packages() *rpm.DB {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.packages
+}
+
+// WipePackages resets the node to bare metal (reinstall from scratch).
+func (n *Node) WipePackages() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.packages = rpm.NewDB()
+	n.os = ""
+	n.services = make(map[string]bool)
+}
+
+// OS returns the installed operating system name, "" for bare metal.
+func (n *Node) OS() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.os
+}
+
+// SetOS records the installed operating system.
+func (n *Node) SetOS(os string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.os = os
+}
+
+// StartService marks a service running.
+func (n *Node) StartService(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.services[name] = true
+}
+
+// StopService marks a service stopped.
+func (n *Node) StopService(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.services, name)
+}
+
+// ServiceRunning reports whether a service is running.
+func (n *Node) ServiceRunning(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.services[name]
+}
+
+// Services returns the sorted list of running services.
+func (n *Node) Services() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.services))
+	for s := range n.services {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetAttr sets a host attribute (the "rocks set host attr" analogue).
+func (n *Node) SetAttr(key, value string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.attrs[key] = value
+}
+
+// Attr returns a host attribute.
+func (n *Node) Attr(key string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.attrs[key]
+	return v, ok
+}
+
+// Attrs returns a copy of all attributes.
+func (n *Node) Attrs() map[string]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]string, len(n.attrs))
+	for k, v := range n.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s [%s] %s x%d, %d GB RAM, %d disk(s)",
+		n.Name, n.Role, n.CPU.Name, n.Sockets, n.RAMGB, len(n.Disks))
+}

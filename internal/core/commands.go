@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"xcbc/internal/sched"
+)
+
+// The command layer realizes the paper's portability claim: "The commands
+// used to execute open-source applications on any cluster created with XCBC
+// or XNIT are compatible with the way these commands are used on a typical
+// cluster supported by XSEDE." Exec accepts the scheduler-native command
+// lines users know (qsub/qstat/qdel for Torque and SGE, sbatch/squeue/scancel
+// for SLURM) plus the module commands, and dispatches to whatever backend
+// the deployment runs.
+
+// ErrUnknownCommand is wrapped in errors for unrecognized commands.
+type CommandError struct{ Cmd string }
+
+func (e *CommandError) Error() string {
+	return fmt.Sprintf("core: unknown or unavailable command %q", e.Cmd)
+}
+
+// commandFamilies maps command name -> scheduler family it belongs to.
+var commandFamilies = map[string]string{
+	"qsub": "pbs", "qstat": "pbs", "qdel": "pbs",
+	"sbatch": "slurm", "squeue": "slurm", "scancel": "slurm",
+}
+
+// familyOf returns the command family a deployment's scheduler answers to.
+func familyOf(scheduler string) string {
+	switch scheduler {
+	case "torque", "sge":
+		return "pbs" // SGE ships qsub/qstat/qdel work-alikes
+	case "slurm":
+		return "slurm"
+	}
+	return ""
+}
+
+// Exec runs one command line against the deployment and returns its output.
+// Submission flags (a superset small enough for training):
+//
+//	qsub   [-N name] [-l nodes=X:ppn=Y] [-l walltime=HH:MM:SS] [-u user] script
+//	sbatch [-J name] [-n cores] [-t minutes] [-u user] script
+//	qstat / squeue
+//	qdel <id> / scancel <id>
+//	module avail
+//
+// The actual runtime of the simulated job defaults to half its walltime; for
+// deterministic scenarios append -runtime <seconds>.
+func (d *Deployment) Exec(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("core: empty command")
+	}
+	cmd := fields[0]
+	args := fields[1:]
+	if fam, isSched := commandFamilies[cmd]; isSched {
+		if d.Batch == nil {
+			return "", fmt.Errorf("core: no batch system installed; %w", &CommandError{cmd})
+		}
+		if fam != familyOf(d.Scheduler) {
+			return "", fmt.Errorf("core: scheduler is %s; %w", d.Scheduler, &CommandError{cmd})
+		}
+		switch cmd {
+		case "qsub", "sbatch":
+			return d.execSubmit(cmd, args)
+		case "qstat", "squeue":
+			return d.execStatus(), nil
+		case "qdel", "scancel":
+			return d.execDelete(args)
+		}
+	}
+	if cmd == "module" {
+		return d.execModule(args)
+	}
+	return "", &CommandError{cmd}
+}
+
+func (d *Deployment) execSubmit(cmd string, args []string) (string, error) {
+	job := &sched.Job{User: "user", Cores: 1}
+	var script string
+	i := 0
+	for i < len(args) {
+		a := args[i]
+		switch {
+		case a == "-N" || a == "-J":
+			i++
+			if i >= len(args) {
+				return "", fmt.Errorf("core: %s: missing name", cmd)
+			}
+			job.Name = args[i]
+		case a == "-u":
+			i++
+			if i >= len(args) {
+				return "", fmt.Errorf("core: %s: missing user", cmd)
+			}
+			job.User = args[i]
+		case a == "-n" && cmd == "sbatch":
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return "", fmt.Errorf("core: sbatch -n: %v", err)
+			}
+			job.Cores = n
+		case a == "-t" && cmd == "sbatch":
+			i++
+			mins, err := strconv.Atoi(args[i])
+			if err != nil {
+				return "", fmt.Errorf("core: sbatch -t: %v", err)
+			}
+			job.Walltime = time.Duration(mins) * time.Minute
+		case a == "-l" && cmd == "qsub":
+			i++
+			if i >= len(args) {
+				return "", fmt.Errorf("core: qsub -l: missing resource list")
+			}
+			if err := parsePBSResources(args[i], job); err != nil {
+				return "", err
+			}
+		case a == "-runtime":
+			i++
+			secs, err := strconv.Atoi(args[i])
+			if err != nil {
+				return "", fmt.Errorf("core: -runtime: %v", err)
+			}
+			job.Runtime = time.Duration(secs) * time.Second
+		case strings.HasPrefix(a, "-"):
+			return "", fmt.Errorf("core: %s: unknown flag %s", cmd, a)
+		default:
+			script = a
+		}
+		i++
+	}
+	if script == "" {
+		return "", fmt.Errorf("core: %s: no script given", cmd)
+	}
+	job.Script = script
+	if job.Name == "" {
+		job.Name = script
+	}
+	id, err := d.Batch.Submit(job)
+	if err != nil {
+		return "", err
+	}
+	if cmd == "sbatch" {
+		return fmt.Sprintf("Submitted batch job %d", id), nil
+	}
+	return fmt.Sprintf("%d.%s", id, d.Cluster.Frontend.Name), nil
+}
+
+// parsePBSResources handles "-l nodes=2:ppn=2,walltime=01:00:00".
+func parsePBSResources(spec string, job *sched.Job) error {
+	nodes, ppn := 1, 1
+	for _, part := range strings.Split(spec, ",") {
+		switch {
+		case strings.HasPrefix(part, "nodes="):
+			sub := strings.Split(strings.TrimPrefix(part, "nodes="), ":")
+			n, err := strconv.Atoi(sub[0])
+			if err != nil {
+				return fmt.Errorf("core: qsub -l nodes: %v", err)
+			}
+			nodes = n
+			for _, s := range sub[1:] {
+				if strings.HasPrefix(s, "ppn=") {
+					p, err := strconv.Atoi(strings.TrimPrefix(s, "ppn="))
+					if err != nil {
+						return fmt.Errorf("core: qsub -l ppn: %v", err)
+					}
+					ppn = p
+				}
+			}
+		case strings.HasPrefix(part, "walltime="):
+			hms := strings.Split(strings.TrimPrefix(part, "walltime="), ":")
+			if len(hms) != 3 {
+				return fmt.Errorf("core: qsub walltime must be HH:MM:SS")
+			}
+			h, err1 := strconv.Atoi(hms[0])
+			m, err2 := strconv.Atoi(hms[1])
+			s, err3 := strconv.Atoi(hms[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("core: qsub walltime must be HH:MM:SS")
+			}
+			job.Walltime = time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(s)*time.Second
+		default:
+			return fmt.Errorf("core: qsub -l: unknown resource %q", part)
+		}
+	}
+	job.Cores = nodes * ppn
+	return nil
+}
+
+func (d *Deployment) execStatus() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-16s %-10s %-6s %-10s\n", "ID", "NAME", "USER", "CORES", "STATE")
+	var all []*sched.Job
+	all = append(all, d.Batch.Running()...)
+	all = append(all, d.Batch.Queued()...)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	for _, j := range all {
+		fmt.Fprintf(&b, "%-6d %-16s %-10s %-6d %-10s\n", j.ID, j.Name, j.User, j.Cores, j.State)
+	}
+	return b.String()
+}
+
+func (d *Deployment) execDelete(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("core: delete needs exactly one job id")
+	}
+	// Torque ids look like "3.frontend"; accept both forms.
+	idStr := strings.SplitN(args[0], ".", 2)[0]
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return "", fmt.Errorf("core: bad job id %q", args[0])
+	}
+	if err := d.Batch.Cancel(id); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("job %d deleted", id), nil
+}
+
+func (d *Deployment) execModule(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("core: module: missing subcommand")
+	}
+	switch args[0] {
+	case "avail":
+		return strings.Join(d.Modules.Avail(), "\n") + "\n", nil
+	default:
+		return "", fmt.Errorf("core: module: unsupported subcommand %q (sessions handle load/unload)", args[0])
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/modules"
+	"xcbc/internal/monitor"
+	"xcbc/internal/power"
+	"xcbc/internal/provision"
+	"xcbc/internal/repo"
+	"xcbc/internal/rocks"
+	"xcbc/internal/sched"
+	"xcbc/internal/sim"
+	"xcbc/internal/xsede"
+)
+
+// Options configure an XCBC build.
+type Options struct {
+	// Scheduler is one of Schedulers; default "torque".
+	Scheduler string
+	// OptionalRolls lists Table 1 optional rolls to include; default ganglia
+	// and hpc (the rolls the XCBC experience reports always deploy).
+	OptionalRolls []string
+	// PowerPolicy selects node power management; default AlwaysOn.
+	PowerPolicy power.Policy
+	// MonitorInterval is the gmetad poll period; default 1 minute.
+	MonitorInterval time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Scheduler == "" {
+		out.Scheduler = "torque"
+	}
+	if out.OptionalRolls == nil {
+		out.OptionalRolls = []string{"ganglia", "hpc"}
+	}
+	if out.MonitorInterval == 0 {
+		out.MonitorInterval = time.Minute
+	}
+	return out
+}
+
+// Deployment is a fully assembled cluster: the hardware plus every running
+// subsystem. It is what both the XCBC path and the XNIT path produce.
+type Deployment struct {
+	Cluster   *cluster.Cluster
+	Engine    *sim.Engine
+	Batch     *sched.Manager
+	Modules   *modules.System
+	Monitor   *monitor.Aggregator
+	Power     *power.Manager
+	Installer *provision.Installer
+	Repos     *repo.Set
+	Scheduler string
+
+	// InstallDuration is the simulated time the initial build consumed.
+	InstallDuration time.Duration
+	// PackagesInstalled counts packages placed across all nodes at build.
+	PackagesInstalled int
+}
+
+// BuildXCBC performs the complete "all at once, from scratch" XCBC build on
+// a bare cluster: distribution assembly, frontend install, compute
+// kickstarts, module generation, and subsystem startup.
+func BuildXCBC(eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, error) {
+	o := opts.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dist, err := BuildDistribution(o.Scheduler, o.OptionalRolls...)
+	if err != nil {
+		return nil, err
+	}
+	graph := rocks.DefaultGraph()
+	if err := rocks.AttachXSEDEFragments(graph, o.Scheduler); err != nil {
+		return nil, err
+	}
+	feDB := rocks.NewFrontendDB(dist)
+	installer := provision.NewInstaller(c, feDB, graph, "CentOS "+CentOSVersion)
+	start := eng.Now()
+	results, err := installer.InstallAll(eng)
+	if err != nil {
+		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
+	}
+	d := &Deployment{
+		Cluster:   c,
+		Engine:    eng,
+		Installer: installer,
+		Repos:     repo.NewSet(),
+		Scheduler: o.Scheduler,
+	}
+	for _, r := range results {
+		d.PackagesInstalled += r.Packages
+	}
+	d.InstallDuration = (eng.Now() - start).Duration()
+	d.finishAssembly(o)
+	return d, nil
+}
+
+// NewVendorDeployment wraps an already-provisioned cluster (the Limulus
+// out-of-the-box state) in a Deployment so XNIT can operate on it. The
+// vendor stack's scheduler may be empty (no batch system yet) or a name from
+// Schedulers.
+func NewVendorDeployment(eng *sim.Engine, c *cluster.Cluster, scheduler string, opts Options) (*Deployment, error) {
+	o := opts.withDefaults()
+	o.Scheduler = scheduler
+	d := &Deployment{
+		Cluster:   c,
+		Engine:    eng,
+		Repos:     repo.NewSet(),
+		Scheduler: scheduler,
+	}
+	d.finishAssembly(o)
+	return d, nil
+}
+
+// finishAssembly starts the subsystems shared by both build paths.
+func (d *Deployment) finishAssembly(o Options) {
+	if d.Scheduler != "" {
+		if policy, ok := sched.PolicyByName(d.Scheduler); ok {
+			d.Batch = sched.NewManager(d.Engine, d.Cluster, policy)
+		}
+	}
+	d.Modules = modules.GenerateFromPackages(d.Cluster.Frontend.Packages(),
+		CategoryCompilers, CategorySciApps)
+	loadFn := func(node string) float64 {
+		if d.Batch == nil || node == d.Cluster.Frontend.Name {
+			return 0 // the frontend is not in the batch pool
+		}
+		n, ok := d.Cluster.Lookup(node)
+		if !ok || n.Cores() == 0 {
+			return 0
+		}
+		return float64(n.Cores()-d.Batch.FreeCores(node)) / float64(n.Cores())
+	}
+	d.Monitor = monitor.NewAggregator(d.Cluster, 1024, loadFn)
+	d.Power = power.NewManager(d.Engine, d.Cluster, d.Batch, o.PowerPolicy)
+}
+
+// RegenerateModules rebuilds the module tree from the frontend's current
+// package set (after XNIT installs add software).
+func (d *Deployment) RegenerateModules() {
+	d.Modules = modules.GenerateFromPackages(d.Cluster.Frontend.Packages(),
+		CategoryCompilers, CategorySciApps)
+}
+
+// CompatReport checks the frontend against the Stampede reference adjusted
+// for the deployment's scheduler.
+func (d *Deployment) CompatReport() (*xsede.Report, error) {
+	ref := xsede.StampedeReference()
+	if d.Scheduler != "" {
+		var err error
+		ref, err = ref.WithScheduler(d.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return xsede.CheckNode(ref, d.Cluster.Frontend), nil
+}

@@ -1,0 +1,231 @@
+// Package depsolve implements Yum-style dependency resolution over a
+// repository set and an installed-package database: computing the
+// transaction needed to install named packages (pulling in requirements
+// transitively), listing available updates, and applying update policies
+// (automatic application vs. administrator notification), which the paper
+// discusses as the central operational choice for XNIT sites.
+package depsolve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xcbc/internal/repo"
+	"xcbc/internal/rpm"
+)
+
+// Resolver computes transactions against a repository set and an installed
+// database.
+type Resolver struct {
+	Repos *repo.Set
+	DB    *rpm.DB
+}
+
+// New returns a resolver over the given repositories and database.
+func New(repos *repo.Set, db *rpm.DB) *Resolver {
+	return &Resolver{Repos: repos, DB: db}
+}
+
+// UnresolvableError reports requirements that could not be satisfied from
+// the enabled repositories, with the dependency chain that led to each.
+type UnresolvableError struct {
+	Missing []MissingDep
+}
+
+// MissingDep is one unsatisfiable requirement.
+type MissingDep struct {
+	Req    rpm.Capability
+	Needed string // NEVRA of the package that required it, or "" for direct requests
+	Via    string // human-readable chain
+}
+
+func (e *UnresolvableError) Error() string {
+	var b strings.Builder
+	b.WriteString("depsolve: unresolvable dependencies:")
+	for _, m := range e.Missing {
+		fmt.Fprintf(&b, "\n  %s", m.Req)
+		if m.Needed != "" {
+			fmt.Fprintf(&b, " (required by %s)", m.Needed)
+		}
+	}
+	return b.String()
+}
+
+// Install resolves the named packages and their transitive requirements into
+// a transaction. Already-satisfied requirements add nothing; an installed
+// older build of a requested name becomes an upgrade element.
+func (r *Resolver) Install(names ...string) (*rpm.Transaction, error) {
+	tx := &rpm.Transaction{}
+	// planned maps package name -> package chosen in this transaction, so the
+	// closure doesn't pull the same package twice.
+	planned := make(map[string]*rpm.Package)
+	var missing []MissingDep
+
+	var queue []*rpm.Package
+	for _, name := range names {
+		best := r.Repos.Best(name)
+		if best == nil {
+			missing = append(missing, MissingDep{Req: rpm.Cap(name)})
+			continue
+		}
+		if _, already := planned[best.Name]; already {
+			continue // duplicate request in names
+		}
+		cur := r.DB.Newest(name)
+		if cur != nil {
+			if cur.EVR.Compare(best.EVR) >= 0 {
+				continue // already installed at this or a newer version
+			}
+			tx.Upgrade(best, cur)
+		} else {
+			tx.Install(best)
+		}
+		planned[best.Name] = best
+		queue = append(queue, best)
+	}
+
+	// Breadth-first closure over requirements.
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, req := range p.Requires {
+			if r.satisfied(req, planned) {
+				continue
+			}
+			prov := r.Repos.BestProvider(req)
+			if prov == nil {
+				missing = append(missing, MissingDep{Req: req, Needed: p.NEVRA()})
+				continue
+			}
+			if existing, ok := planned[prov.Name]; ok && existing.EVR.Compare(prov.EVR) >= 0 {
+				continue
+			}
+			if cur := r.DB.Newest(prov.Name); cur != nil && cur.EVR.Compare(prov.EVR) < 0 {
+				tx.Upgrade(prov, cur)
+			} else {
+				tx.Install(prov)
+			}
+			planned[prov.Name] = prov
+			queue = append(queue, prov)
+		}
+	}
+
+	if len(missing) > 0 {
+		return nil, &UnresolvableError{Missing: missing}
+	}
+	if tx.Len() == 0 {
+		return tx, nil // nothing to do: everything already installed
+	}
+	return tx, nil
+}
+
+// satisfied reports whether req is met by the installed DB or by a package
+// already planned in this transaction.
+func (r *Resolver) satisfied(req rpm.Capability, planned map[string]*rpm.Package) bool {
+	if len(r.DB.WhoProvides(req)) > 0 {
+		return true
+	}
+	for _, p := range planned {
+		if p.ProvidesCap(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove resolves an erase of the named packages, refusing if other installed
+// packages still require them (unless those are also being removed).
+func (r *Resolver) Remove(names ...string) (*rpm.Transaction, error) {
+	tx := &rpm.Transaction{}
+	removing := make(map[string]bool, len(names))
+	for _, name := range names {
+		removing[name] = true
+	}
+	for _, name := range names {
+		p := r.DB.Newest(name)
+		if p == nil {
+			return nil, fmt.Errorf("depsolve: %s is not installed", name)
+		}
+		tx.Erase(p)
+	}
+	// Reject if a survivor depends on a removed package.
+	for _, survivor := range r.DB.Installed() {
+		if removing[survivor.Name] {
+			continue
+		}
+		for _, req := range survivor.Requires {
+			for _, name := range names {
+				p := r.DB.Newest(name)
+				if p != nil && p.ProvidesCap(req) {
+					// Is the requirement still met by someone staying?
+					met := false
+					for _, prov := range r.DB.WhoProvides(req) {
+						if !removing[prov.Name] {
+							met = true
+							break
+						}
+					}
+					if !met {
+						return nil, fmt.Errorf("depsolve: cannot remove %s: required by %s",
+							name, survivor.NEVRA())
+					}
+				}
+			}
+		}
+	}
+	return tx, nil
+}
+
+// Update is one available update for an installed package.
+type Update struct {
+	Installed *rpm.Package
+	Available *rpm.Package
+	Repo      string // repository ID offering the update
+}
+
+func (u Update) String() string {
+	return fmt.Sprintf("%s -> %s", u.Installed.NEVRA(), u.Available.EVR)
+}
+
+// CheckUpdates lists available updates for all installed packages — the
+// "yum check-update" the paper recommends administrators run periodically.
+func (r *Resolver) CheckUpdates() []Update {
+	var out []Update
+	for _, inst := range r.DB.Installed() {
+		best := r.Repos.Best(inst.Name)
+		if best == nil {
+			continue
+		}
+		newest := r.DB.Newest(inst.Name)
+		if inst != newest {
+			continue // only report against the newest installed build
+		}
+		if best.EVR.Compare(inst.EVR) > 0 {
+			repoID := ""
+			for _, c := range r.Repos.Enabled() {
+				if c.Repo.Newest(inst.Name) == best {
+					repoID = c.Repo.ID
+					break
+				}
+			}
+			out = append(out, Update{Installed: inst, Available: best, Repo: repoID})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Installed.Name < out[j].Installed.Name })
+	return out
+}
+
+// UpdateAll resolves a transaction upgrading every installed package with an
+// available update ("yum update" with no arguments).
+func (r *Resolver) UpdateAll() (*rpm.Transaction, error) {
+	updates := r.CheckUpdates()
+	if len(updates) == 0 {
+		return &rpm.Transaction{}, nil
+	}
+	names := make([]string, len(updates))
+	for i, u := range updates {
+		names[i] = u.Installed.Name
+	}
+	return r.Install(names...)
+}

@@ -1,0 +1,128 @@
+package depsolve
+
+import (
+	"sort"
+
+	"xcbc/internal/rpm"
+)
+
+// OrderOps rewrites a transaction so that install/upgrade elements appear
+// in dependency order (providers before requirers) and erase elements come
+// last in reverse-dependency order — the order Yum actually executes RPM
+// transactions in, which matters when %post scriptlets of one package call
+// binaries of another. Cycles (rare but legal in RPM, e.g. mutually
+// dependent subpackages) are broken deterministically by name.
+func OrderOps(tx *rpm.Transaction) *rpm.Transaction {
+	var installs, erases []rpm.Op
+	for _, op := range tx.Ops {
+		if op.Kind == rpm.OpErase {
+			erases = append(erases, op)
+		} else {
+			installs = append(installs, op)
+		}
+	}
+
+	// Kahn's algorithm over the install set: edge provider -> requirer.
+	provides := make(map[int][]rpm.Capability, len(installs))
+	for i, op := range installs {
+		provides[i] = op.Pkg.AllProvides()
+	}
+	indeg := make([]int, len(installs))
+	adj := make([][]int, len(installs))
+	for i, op := range installs {
+		for _, req := range op.Pkg.Requires {
+			for j := range installs {
+				if j == i {
+					continue
+				}
+				for _, prov := range provides[j] {
+					if prov.Satisfies(req) {
+						adj[j] = append(adj[j], i)
+						indeg[i]++
+						break
+					}
+				}
+			}
+		}
+	}
+	// Ready set kept sorted by package name for determinism.
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sortByName := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			return installs[idx[a]].Pkg.Name < installs[idx[b]].Pkg.Name
+		})
+	}
+	sortByName(ready)
+	ordered := make([]rpm.Op, 0, len(installs))
+	visited := make([]bool, len(installs))
+	for len(ordered) < len(installs) {
+		if len(ready) == 0 {
+			// Cycle: pick the unvisited node with the lexicographically
+			// smallest name, pretend its remaining deps are satisfied.
+			best := -1
+			for i := range installs {
+				if !visited[i] && (best < 0 || installs[i].Pkg.Name < installs[best].Pkg.Name) {
+					best = i
+				}
+			}
+			ready = append(ready, best)
+		}
+		cur := ready[0]
+		ready = ready[1:]
+		if visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		ordered = append(ordered, installs[cur])
+		var newly []int
+		for _, next := range adj[cur] {
+			indeg[next]--
+			if indeg[next] == 0 && !visited[next] {
+				newly = append(newly, next)
+			}
+		}
+		sortByName(newly)
+		ready = append(ready, newly...)
+	}
+
+	// Erases: reverse-dependency order — erase requirers before providers.
+	sort.SliceStable(erases, func(a, b int) bool {
+		// If a's package requires something b provides, b must outlive a:
+		// a first.
+		aNeedsB := false
+		for _, req := range erases[a].Pkg.Requires {
+			if erases[b].Pkg.ProvidesCap(req) {
+				aNeedsB = true
+				break
+			}
+		}
+		bNeedsA := false
+		for _, req := range erases[b].Pkg.Requires {
+			if erases[a].Pkg.ProvidesCap(req) {
+				bNeedsA = true
+				break
+			}
+		}
+		if aNeedsB != bNeedsA {
+			return aNeedsB
+		}
+		return erases[a].Pkg.Name < erases[b].Pkg.Name
+	})
+
+	out := &rpm.Transaction{Ops: append(ordered, erases...)}
+	return out
+}
+
+// InstallOrdered is Install followed by OrderOps.
+func (r *Resolver) InstallOrdered(names ...string) (*rpm.Transaction, error) {
+	tx, err := r.Install(names...)
+	if err != nil {
+		return nil, err
+	}
+	return OrderOps(tx), nil
+}

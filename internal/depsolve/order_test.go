@@ -1,0 +1,147 @@
+package depsolve
+
+import (
+	"testing"
+
+	"xcbc/internal/repo"
+	"xcbc/internal/rpm"
+)
+
+func TestOrderOpsProvidersFirst(t *testing.T) {
+	set, db := fixture()
+	r := New(set, db)
+	tx, err := r.InstallOrdered("gromacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, op := range tx.Ops {
+		pos[op.Pkg.Name] = i
+	}
+	// gcc before openmpi, openmpi before fftw (fftw requires mpi), both
+	// before gromacs.
+	deps := [][2]string{
+		{"gcc", "openmpi"}, {"openmpi", "fftw"}, {"fftw", "gromacs"}, {"openmpi", "gromacs"},
+	}
+	for _, d := range deps {
+		if pos[d[0]] >= pos[d[1]] {
+			t.Errorf("%s (pos %d) should precede %s (pos %d); order: %s",
+				d[0], pos[d[0]], d[1], pos[d[1]], tx)
+		}
+	}
+	// Ordered transactions run exactly like unordered ones.
+	if err := tx.Run(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderOpsDeterministic(t *testing.T) {
+	set, db := fixture()
+	r := New(set, db)
+	a, err := r.InstallOrdered("gromacs", "lammps")
+	if err != nil {
+		// lammps has a missing dep in the fixture; use gromacs+fftw instead.
+		a, err = r.InstallOrdered("gromacs", "fftw")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.InstallOrdered("gromacs", "fftw")
+		if a.String() != b.String() {
+			t.Fatalf("ordering not deterministic:\n%s\n%s", a, b)
+		}
+		return
+	}
+	b, _ := r.InstallOrdered("gromacs", "lammps")
+	if a.String() != b.String() {
+		t.Fatalf("ordering not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestOrderOpsCycleBrokenDeterministically(t *testing.T) {
+	// a <-> b mutual dependency (legal in RPM).
+	rp := repo.New("x", "x", "")
+	rp.Publish(
+		rpm.NewPackage("a", "1-1", rpm.ArchX86_64).Requires(rpm.Cap("b")).Build(),
+		rpm.NewPackage("b", "1-1", rpm.ArchX86_64).Requires(rpm.Cap("a")).Build(),
+	)
+	set := repo.NewSet(repo.Config{Repo: rp, Enabled: true})
+	r := New(set, rpm.NewDB())
+	tx, err := r.InstallOrdered("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Len() != 2 {
+		t.Fatalf("tx = %s", tx)
+	}
+	// Cycle broken by name: a first.
+	if tx.Ops[0].Pkg.Name != "a" {
+		t.Fatalf("cycle break order: %s", tx)
+	}
+	db := rpm.NewDB()
+	if err := tx.Run(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderOpsErasesLastReverseOrder(t *testing.T) {
+	lib := rpm.NewPackage("lib", "1-1", rpm.ArchX86_64).Build()
+	app := rpm.NewPackage("app", "1-1", rpm.ArchX86_64).Requires(rpm.Cap("lib")).Build()
+	newPkg := rpm.NewPackage("standalone", "1-1", rpm.ArchX86_64).Build()
+	var tx rpm.Transaction
+	tx.Erase(lib)
+	tx.Install(newPkg)
+	tx.Erase(app)
+	ordered := OrderOps(&tx)
+	if ordered.Ops[0].Pkg.Name != "standalone" {
+		t.Fatalf("installs should come first: %s", ordered)
+	}
+	// app (requires lib) must be erased before lib.
+	posApp, posLib := -1, -1
+	for i, op := range ordered.Ops {
+		if op.Kind == rpm.OpErase {
+			switch op.Pkg.Name {
+			case "app":
+				posApp = i
+			case "lib":
+				posLib = i
+			}
+		}
+	}
+	if posApp > posLib {
+		t.Fatalf("app must be erased before lib: %s", ordered)
+	}
+}
+
+func TestOrderOpsXNITCatalogScale(t *testing.T) {
+	// Order a large closure and verify the topological property wholesale.
+	set, db := fixture()
+	r := New(set, db)
+	tx, err := r.InstallOrdered("gromacs", "fftw", "openmpi", "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, op := range tx.Ops {
+		for _, req := range op.Pkg.Requires {
+			satisfiedEarlier := false
+			for name := range seen {
+				for _, p := range tx.Ops {
+					if p.Pkg.Name == name && p.Pkg.ProvidesCap(req) {
+						satisfiedEarlier = true
+					}
+				}
+			}
+			inTx := false
+			for _, p := range tx.Ops {
+				if p.Pkg.ProvidesCap(req) {
+					inTx = true
+				}
+			}
+			if inTx && !satisfiedEarlier {
+				t.Errorf("%s requires %s but no earlier element provides it: %s",
+					op.Pkg.Name, req, tx)
+			}
+		}
+		seen[op.Pkg.Name] = true
+	}
+}

@@ -1,0 +1,124 @@
+package depsolve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// UpdatePolicy decides what happens when updates are found. The paper
+// contrasts automatic application ("may cause unexpected behavior in a
+// production environment") with notification for administrator review
+// ("might be the more prudent action").
+type UpdatePolicy int
+
+// Update policies.
+const (
+	// PolicyNotify reports updates for review without applying them.
+	PolicyNotify UpdatePolicy = iota
+	// PolicyAutoApply applies all available updates immediately.
+	PolicyAutoApply
+	// PolicySecurityOnly applies only updates whose category marks them as
+	// security-related; everything else is reported.
+	PolicySecurityOnly
+)
+
+func (p UpdatePolicy) String() string {
+	switch p {
+	case PolicyNotify:
+		return "notify"
+	case PolicyAutoApply:
+		return "auto-apply"
+	case PolicySecurityOnly:
+		return "security-only"
+	}
+	return "?"
+}
+
+// Notification is the outcome of one update check under a policy: what was
+// applied and what is pending administrator review.
+type Notification struct {
+	When     time.Time
+	Policy   UpdatePolicy
+	Applied  []Update
+	Pending  []Update
+	ApplyErr error // non-nil if an apply was attempted and failed
+}
+
+// Summary renders the notification as the body of the email/cron report the
+// paper suggests sites generate.
+func (n *Notification) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "update check at %s (policy: %s)\n", n.When.Format(time.RFC3339), n.Policy)
+	if len(n.Applied) == 0 && len(n.Pending) == 0 {
+		b.WriteString("no updates available\n")
+		return b.String()
+	}
+	if len(n.Applied) > 0 {
+		fmt.Fprintf(&b, "applied %d update(s):\n", len(n.Applied))
+		for _, u := range n.Applied {
+			fmt.Fprintf(&b, "  %s (from %s)\n", u, u.Repo)
+		}
+	}
+	if len(n.Pending) > 0 {
+		fmt.Fprintf(&b, "pending review, %d update(s):\n", len(n.Pending))
+		for _, u := range n.Pending {
+			fmt.Fprintf(&b, "  %s (from %s)\n", u, u.Repo)
+		}
+	}
+	if n.ApplyErr != nil {
+		fmt.Fprintf(&b, "apply error: %v\n", n.ApplyErr)
+	}
+	return b.String()
+}
+
+// RunUpdateCheck performs one scheduled update check under the given policy,
+// applying what the policy allows and reporting the rest. The caller supplies
+// the wall-clock time so simulations stay deterministic.
+func (r *Resolver) RunUpdateCheck(policy UpdatePolicy, now time.Time) *Notification {
+	n := &Notification{When: now, Policy: policy}
+	updates := r.CheckUpdates()
+	if len(updates) == 0 {
+		return n
+	}
+	var toApply, toReport []Update
+	switch policy {
+	case PolicyAutoApply:
+		toApply = updates
+	case PolicyNotify:
+		toReport = updates
+	case PolicySecurityOnly:
+		for _, u := range updates {
+			if isSecurity(u) {
+				toApply = append(toApply, u)
+			} else {
+				toReport = append(toReport, u)
+			}
+		}
+	}
+	if len(toApply) > 0 {
+		names := make([]string, len(toApply))
+		for i, u := range toApply {
+			names[i] = u.Installed.Name
+		}
+		tx, err := r.Install(names...)
+		if err == nil {
+			err = tx.Run(r.DB)
+		}
+		if err != nil {
+			n.ApplyErr = err
+			toReport = append(toReport, toApply...)
+			toApply = nil
+		}
+	}
+	n.Applied = toApply
+	n.Pending = toReport
+	return n
+}
+
+// isSecurity reports whether an update is security-relevant. The synthetic
+// catalogs mark these via the category field, standing in for RPM update
+// advisories.
+func isSecurity(u Update) bool {
+	return strings.Contains(strings.ToLower(u.Available.Category), "security")
+}

@@ -1,0 +1,53 @@
+package hpl
+
+import (
+	"strings"
+	"testing"
+
+	"xcbc/internal/cluster"
+)
+
+func TestScalingCurveShape(t *testing.T) {
+	points := ScalingCurve(cluster.CeleronG1840, 8, 12, cluster.GigabitEthernet, ModelParams{})
+	if len(points) != 12 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Nodes != i+1 {
+			t.Fatalf("node count sequence broken at %d", i)
+		}
+		// Rpeak grows exactly linearly.
+		if i > 0 {
+			wantPeak := points[0].RpeakGF * float64(i+1)
+			if diff := p.RpeakGF - wantPeak; diff < -0.01 || diff > 0.01 {
+				t.Fatalf("Rpeak at %d nodes = %v, want %v", p.Nodes, p.RpeakGF, wantPeak)
+			}
+		}
+		// Rmax grows monotonically but efficiency decays... weak scaling with
+		// growing N actually holds efficiency; assert monotone Rmax and
+		// non-increasing efficiency trend over a wide window.
+		if i > 0 && p.RmaxGF <= points[i-1].RmaxGF {
+			t.Fatalf("Rmax should grow with nodes: %v -> %v", points[i-1].RmaxGF, p.RmaxGF)
+		}
+	}
+	// Efficiency at 12 nodes is below the single-node gamma.
+	if points[11].Efficiency >= GammaForCPU(cluster.CeleronG1840) {
+		t.Fatalf("multi-node efficiency %v should be below gamma", points[11].Efficiency)
+	}
+	// Faster networks scale better.
+	ib := ScalingCurve(cluster.CeleronG1840, 8, 12, cluster.InfinibandQDR, ModelParams{})
+	if ib[11].Efficiency <= points[11].Efficiency {
+		t.Fatal("IB should scale better than GigE")
+	}
+}
+
+func TestRenderScalingCurve(t *testing.T) {
+	points := ScalingCurve(cluster.CeleronG1840, 8, 6, cluster.GigabitEthernet, ModelParams{})
+	out := RenderScalingCurve(points, "LittleFe-class scaling (GigE)")
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 8 { // title + header + 6 rows
+		t.Fatalf("render rows:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFactorTiledMatchesReference(t *testing.T) {
+	for _, n := range []int{5, 17, 48, 96} {
+		for _, tile := range []int{4, 16, 200} {
+			a, b := RandomSystem(n, int64(n))
+			ref := a.Clone()
+			refPiv, err := Factor(ref, 8, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refX := Solve(ref, refPiv, b)
+
+			tiled := a.Clone()
+			piv, err := FactorTiled(tiled, 8, tile, 3)
+			if err != nil {
+				t.Fatalf("n=%d tile=%d: %v", n, tile, err)
+			}
+			x := Solve(tiled, piv, b)
+			for i := range x {
+				if math.Abs(x[i]-refX[i]) > 1e-9 {
+					t.Fatalf("n=%d tile=%d: x[%d] differs: %v vs %v", n, tile, i, x[i], refX[i])
+				}
+			}
+			// LU payloads must be bit-identical (same operations, different
+			// order only across independent elements).
+			for i := range tiled.Data {
+				if math.Abs(tiled.Data[i]-ref.Data[i]) > 1e-9 {
+					t.Fatalf("n=%d tile=%d: LU[%d] differs", n, tile, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorTiledValidates(t *testing.T) {
+	a, b := RandomSystem(64, 7)
+	orig := a.Clone()
+	piv, err := FactorTiled(a, 16, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Solve(a, piv, b)
+	if res := ScaledResidual(orig, x, b); res >= ResidualThreshold {
+		t.Fatalf("residual = %v", res)
+	}
+}
+
+func TestFactorTiledErrors(t *testing.T) {
+	if _, err := FactorTiled(NewMatrix(2, 3), 8, 16, 1); err == nil {
+		t.Fatal("rectangular should fail")
+	}
+	if _, err := FactorTiled(NewMatrix(3, 3), 8, 16, 1); err != ErrSingular {
+		t.Fatalf("zero matrix: %v", err)
+	}
+	// Defaults applied for nb/tile/workers <= 0.
+	a, _ := RandomSystem(16, 1)
+	if _, err := FactorTiled(a, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package modules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any sequence of successful loads, unloading everything (in
+// any order the dependency rules allow) restores the base environment
+// exactly; and Purge always restores it regardless.
+
+func randomSystem(rng *rand.Rand) *System {
+	s := NewSystem()
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("mod%c", 'a'+i)
+		m := &Modulefile{
+			Name:    name,
+			Version: fmt.Sprintf("%d.%d", 1+rng.Intn(3), rng.Intn(10)),
+			Default: true,
+			PrependPath: map[string][]string{
+				"PATH": {fmt.Sprintf("/opt/apps/%s/bin", name)},
+			},
+		}
+		if rng.Intn(3) == 0 {
+			m.SetEnv = map[string]string{fmt.Sprintf("%s_HOME", name): "/opt/apps/" + name}
+		}
+		s.Add(m)
+	}
+	return s
+}
+
+func TestPurgeRestoresBaseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(rng)
+		base := map[string]string{"PATH": "/usr/bin:/bin", "HOME": "/home/u", "LANG": "en_US"}
+		sess := sys.NewSession(base)
+		// Load a random subset.
+		for _, key := range sys.Avail() {
+			if rng.Intn(2) == 0 {
+				name := key
+				if i := len(name); i > 0 {
+					// strip " (default)" suffix if present
+					if idx := indexOf(name, " "); idx > 0 {
+						name = name[:idx]
+					}
+				}
+				_ = sess.Load(name) // duplicate-name loads fail harmlessly
+			}
+		}
+		sess.Purge()
+		for k, v := range base {
+			if sess.Env(k) != v {
+				return false
+			}
+		}
+		return len(sess.List()) == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnloadAllRestoresBaseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomSystem(rng)
+		base := map[string]string{"PATH": "/usr/bin"}
+		sess := sys.NewSession(base)
+		var loaded []string
+		for _, key := range sys.Avail() {
+			name := key
+			if idx := indexOf(name, " "); idx > 0 {
+				name = name[:idx]
+			}
+			if idx := indexOf(name, "/"); idx > 0 {
+				name = name[:idx]
+			}
+			if err := sess.Load(name); err == nil {
+				loaded = append(loaded, name)
+			}
+		}
+		// Unload in random order (no prereqs in randomSystem, always legal).
+		rng.Shuffle(len(loaded), func(i, j int) { loaded[i], loaded[j] = loaded[j], loaded[i] })
+		for _, name := range loaded {
+			if err := sess.Unload(name); err != nil {
+				return false
+			}
+		}
+		return sess.Env("PATH") == "/usr/bin" && len(sess.List()) == 0
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,134 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sim"
+)
+
+const pollIvl = sim.Time(time.Minute)
+
+func pollAndEval(agg *Aggregator, am *AlertManager, at sim.Time) {
+	agg.Poll(at)
+	am.Evaluate(at, pollIvl)
+}
+
+func TestThresholdRaiseAndClear(t *testing.T) {
+	c := cluster.NewLimulusHPC200()
+	c.PowerOnAll()
+	load := 0.2
+	agg := NewAggregator(c, 16, func(string) float64 { return load })
+	am := NewAlertManager(agg)
+	am.AddRule(Rule{Name: "high-load", Metric: "load_one", Cond: Above, Threshold: 0.9})
+
+	pollAndEval(agg, am, pollIvl)
+	if len(am.Active()) != 0 {
+		t.Fatalf("no alerts expected: %v", am.Active())
+	}
+	load = 1.0
+	pollAndEval(agg, am, 2*pollIvl)
+	active := am.Active()
+	if len(active) != 4 { // every node over threshold
+		t.Fatalf("active = %v", active)
+	}
+	if !strings.Contains(active[0], "high-load") {
+		t.Fatalf("active = %v", active)
+	}
+	// No duplicate raise on the next poll.
+	pollAndEval(agg, am, 3*pollIvl)
+	raises := 0
+	for _, a := range am.Log() {
+		if a.Firing && a.Rule == "high-load" {
+			raises++
+		}
+	}
+	if raises != 4 {
+		t.Fatalf("raises = %d, want 4 (no duplicates)", raises)
+	}
+	// Clear.
+	load = 0.1
+	pollAndEval(agg, am, 4*pollIvl)
+	if len(am.Active()) != 0 {
+		t.Fatalf("alerts should clear: %v", am.Active())
+	}
+	cleared := 0
+	for _, a := range am.Log() {
+		if !a.Firing && a.Rule == "high-load" {
+			cleared++
+		}
+	}
+	if cleared != 4 {
+		t.Fatalf("cleared = %d", cleared)
+	}
+}
+
+func TestBelowCondition(t *testing.T) {
+	c := cluster.NewLimulusHPC200()
+	c.PowerOnAll()
+	agg := NewAggregator(c, 16, func(string) float64 { return 0.0 })
+	am := NewAlertManager(agg)
+	// Power draw below 10 W means a PSU problem on a powered node.
+	am.AddRule(Rule{Name: "psu", Metric: "power_watts", Cond: Below, Threshold: 10})
+	pollAndEval(agg, am, pollIvl)
+	if len(am.Active()) != 0 {
+		t.Fatalf("powered nodes draw > 10W: %v", am.Active())
+	}
+	if Above.String() != ">" || Below.String() != "<" {
+		t.Error("condition strings")
+	}
+}
+
+func TestHostDownDetection(t *testing.T) {
+	c := cluster.NewLimulusHPC200()
+	c.PowerOnAll()
+	agg := NewAggregator(c, 16, nil)
+	am := NewAlertManager(agg)
+	pollAndEval(agg, am, pollIvl)
+	// n1 dies; it stops reporting but others continue.
+	n1, _ := c.Lookup("n1")
+	n1.SetPower(cluster.PowerOff)
+	for i := 2; i <= 5; i++ {
+		pollAndEval(agg, am, sim.Time(i)*pollIvl)
+	}
+	active := am.Active()
+	if len(active) != 1 || active[0] != "n1/host-down" {
+		t.Fatalf("active = %v", active)
+	}
+	// It comes back.
+	n1.SetPower(cluster.PowerOn)
+	pollAndEval(agg, am, 6*pollIvl)
+	if len(am.Active()) != 0 {
+		t.Fatalf("host-down should clear: %v", am.Active())
+	}
+	var raised, cleared bool
+	for _, a := range am.Log() {
+		if a.Rule == "host-down" && a.Host == "n1" {
+			if a.Firing {
+				raised = true
+			} else {
+				cleared = true
+			}
+		}
+		if a.String() == "" {
+			t.Fatal("alert String")
+		}
+	}
+	if !raised || !cleared {
+		t.Fatalf("transitions: raised=%v cleared=%v", raised, cleared)
+	}
+}
+
+func TestRuleOnMissingMetricIgnored(t *testing.T) {
+	c := cluster.NewLittleFe()
+	c.PowerOnAll()
+	agg := NewAggregator(c, 4, nil)
+	am := NewAlertManager(agg)
+	am.AddRule(Rule{Name: "ghost", Metric: "nonexistent", Cond: Above, Threshold: 1})
+	pollAndEval(agg, am, pollIvl)
+	if len(am.Active()) != 0 {
+		t.Fatal("rule on missing metric must not fire")
+	}
+}

@@ -1,0 +1,297 @@
+// Package monitor implements Ganglia-style cluster monitoring: per-node
+// metric agents (gmond), a frontend aggregator (gmetad) holding ring-buffer
+// time series, and an HTTP/XML export resembling gmond's wire format. The
+// ganglia roll is part of the XCBC build (Table 1).
+package monitor
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sim"
+)
+
+// Metric is one sample of one named quantity on one host.
+type Metric struct {
+	Host  string
+	Name  string
+	Value float64
+	Units string
+	At    sim.Time
+}
+
+// Series is a fixed-capacity ring buffer of samples — the RRD stand-in.
+type Series struct {
+	samples []Metric
+	next    int
+	full    bool
+}
+
+// NewSeries creates a ring of the given capacity (minimum 1).
+func NewSeries(capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{samples: make([]Metric, capacity)}
+}
+
+// Add appends a sample, overwriting the oldest when full.
+func (s *Series) Add(m Metric) {
+	s.samples[s.next] = m
+	s.next++
+	if s.next == len(s.samples) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int {
+	if s.full {
+		return len(s.samples)
+	}
+	return s.next
+}
+
+// All returns samples oldest-first.
+func (s *Series) All() []Metric {
+	if !s.full {
+		return append([]Metric(nil), s.samples[:s.next]...)
+	}
+	out := make([]Metric, 0, len(s.samples))
+	out = append(out, s.samples[s.next:]...)
+	out = append(out, s.samples[:s.next]...)
+	return out
+}
+
+// Latest returns the most recent sample, or false if empty.
+func (s *Series) Latest() (Metric, bool) {
+	if s.Len() == 0 {
+		return Metric{}, false
+	}
+	idx := s.next - 1
+	if idx < 0 {
+		idx = len(s.samples) - 1
+	}
+	return s.samples[idx], true
+}
+
+// Mean returns the average value over stored samples.
+func (s *Series) Mean() float64 {
+	all := s.All()
+	if len(all) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range all {
+		sum += m.Value
+	}
+	return sum / float64(len(all))
+}
+
+// LoadFunc reports a node's current load fraction [0,1]; the scheduler
+// integration supplies cores-busy/cores-total.
+type LoadFunc func(node string) float64
+
+// Aggregator is the gmetad analogue: it polls agents on a period and stores
+// time series per host/metric.
+type Aggregator struct {
+	mu       sync.Mutex
+	cluster  *cluster.Cluster
+	series   map[string]*Series // host + "/" + metric -> series
+	capacity int
+	load     LoadFunc
+	polls    int
+}
+
+// NewAggregator creates an aggregator with per-series ring capacity.
+func NewAggregator(c *cluster.Cluster, capacity int, load LoadFunc) *Aggregator {
+	return &Aggregator{
+		cluster:  c,
+		series:   make(map[string]*Series),
+		capacity: capacity,
+		load:     load,
+	}
+}
+
+// Poll samples every powered-on node once at the engine's current time:
+// load, power draw, and core count. Powered-off nodes report no samples
+// (their gmond is down), matching Ganglia's "host down" behaviour.
+func (a *Aggregator) Poll(now sim.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.polls++
+	for _, n := range a.cluster.Nodes() {
+		if n.Power() != cluster.PowerOn {
+			continue
+		}
+		load := 0.0
+		if a.load != nil {
+			load = a.load(n.Name)
+		}
+		a.record(Metric{Host: n.Name, Name: "load_one", Value: load, Units: "", At: now})
+		a.record(Metric{Host: n.Name, Name: "power_watts", Value: n.DrawWatts(), Units: "W", At: now})
+		a.record(Metric{Host: n.Name, Name: "cpu_num", Value: float64(n.Cores()), Units: "CPUs", At: now})
+	}
+}
+
+// Start schedules periodic polling on the engine every interval, for count
+// polls (count <= 0 polls forever while events remain).
+func (a *Aggregator) Start(eng *sim.Engine, interval time.Duration, count int) {
+	var tick func(*sim.Engine)
+	remaining := count
+	tick = func(e *sim.Engine) {
+		a.Poll(e.Now())
+		if remaining > 0 {
+			remaining--
+			if remaining == 0 {
+				return
+			}
+		}
+		e.After(interval, "gmetad-poll", tick)
+	}
+	eng.After(interval, "gmetad-poll", tick)
+}
+
+func (a *Aggregator) record(m Metric) {
+	key := m.Host + "/" + m.Name
+	s, ok := a.series[key]
+	if !ok {
+		s = NewSeries(a.capacity)
+		a.series[key] = s
+	}
+	s.Add(m)
+}
+
+// Polls returns how many poll rounds have run.
+func (a *Aggregator) Polls() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.polls
+}
+
+// Series returns the stored series for a host metric, or nil.
+func (a *Aggregator) Series(host, metric string) *Series {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.series[host+"/"+metric]
+}
+
+// Hosts returns hosts that have reported at least one metric, sorted.
+func (a *Aggregator) Hosts() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[string]bool)
+	for key := range a.series {
+		for i := 0; i < len(key); i++ {
+			if key[i] == '/' {
+				seen[key[:i]] = true
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClusterLoad returns the mean of the latest load_one across reporting
+// hosts — the headline number on a Ganglia front page.
+func (a *Aggregator) ClusterLoad() float64 {
+	hosts := a.Hosts()
+	if len(hosts) == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, h := range hosts {
+		if s := a.Series(h, "load_one"); s != nil {
+			if m, ok := s.Latest(); ok {
+				sum += m.Value
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// XML export, shaped like gmond's <GANGLIA_XML> document.
+
+type xmlMetric struct {
+	XMLName xml.Name `xml:"METRIC"`
+	Name    string   `xml:"NAME,attr"`
+	Val     float64  `xml:"VAL,attr"`
+	Units   string   `xml:"UNITS,attr"`
+}
+
+type xmlHost struct {
+	XMLName xml.Name    `xml:"HOST"`
+	Name    string      `xml:"NAME,attr"`
+	Metrics []xmlMetric `xml:"METRIC"`
+}
+
+type xmlGanglia struct {
+	XMLName xml.Name  `xml:"GANGLIA_XML"`
+	Source  string    `xml:"SOURCE,attr"`
+	Hosts   []xmlHost `xml:"HOST"`
+}
+
+// ExportXML renders the latest sample of every host metric as Ganglia-style
+// XML.
+func (a *Aggregator) ExportXML() ([]byte, error) {
+	doc := xmlGanglia{Source: a.cluster.Name}
+	for _, h := range a.Hosts() {
+		xh := xmlHost{Name: h}
+		for _, metric := range []string{"load_one", "power_watts", "cpu_num"} {
+			if s := a.Series(h, metric); s != nil {
+				if m, ok := s.Latest(); ok {
+					xh.Metrics = append(xh.Metrics, xmlMetric{Name: m.Name, Val: m.Value, Units: m.Units})
+				}
+			}
+		}
+		doc.Hosts = append(doc.Hosts, xh)
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// ServeHTTP exposes the XML document, as gmetad's interactive port does.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	data, err := a.ExportXML()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(data)
+}
+
+// Report renders a plain-text cluster status summary.
+func (a *Aggregator) Report() string {
+	out := fmt.Sprintf("cluster %s: %d hosts reporting, mean load %.2f\n",
+		a.cluster.Name, len(a.Hosts()), a.ClusterLoad())
+	for _, h := range a.Hosts() {
+		var load, watts float64
+		if s := a.Series(h, "load_one"); s != nil {
+			if m, ok := s.Latest(); ok {
+				load = m.Value
+			}
+		}
+		if s := a.Series(h, "power_watts"); s != nil {
+			if m, ok := s.Latest(); ok {
+				watts = m.Value
+			}
+		}
+		out += fmt.Sprintf("  %-16s load %.2f  %6.1f W\n", h, load, watts)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sim"
+)
+
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries(3)
+	if _, ok := s.Latest(); ok {
+		t.Fatal("empty series should have no latest")
+	}
+	for i := 1; i <= 5; i++ {
+		s.Add(Metric{Name: "x", Value: float64(i)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	all := s.All()
+	if all[0].Value != 3 || all[2].Value != 5 {
+		t.Fatalf("All = %v", all)
+	}
+	if m, _ := s.Latest(); m.Value != 5 {
+		t.Fatalf("Latest = %v", m)
+	}
+	if got := s.Mean(); got != 4 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Capacity below 1 clamps.
+	tiny := NewSeries(0)
+	tiny.Add(Metric{Value: 7})
+	if tiny.Len() != 1 {
+		t.Fatal("clamped capacity failed")
+	}
+}
+
+func TestSeriesPartial(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(Metric{Value: 1})
+	s.Add(Metric{Value: 2})
+	if s.Len() != 2 || len(s.All()) != 2 {
+		t.Fatalf("partial ring: len=%d", s.Len())
+	}
+	if s.Mean() != 1.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestAggregatorPollsPoweredNodesOnly(t *testing.T) {
+	c := cluster.NewLimulusHPC200()
+	c.Frontend.SetPower(cluster.PowerOn)
+	c.Computes[0].SetPower(cluster.PowerOn)
+	// n2, n3 stay off.
+	agg := NewAggregator(c, 16, func(string) float64 { return 0.5 })
+	agg.Poll(0)
+	hosts := agg.Hosts()
+	if len(hosts) != 2 {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+	if s := agg.Series("n2", "load_one"); s != nil {
+		t.Fatal("powered-off node should not report")
+	}
+	if s := agg.Series("n1", "load_one"); s == nil {
+		t.Fatal("n1 should report")
+	} else if m, _ := s.Latest(); m.Value != 0.5 {
+		t.Fatalf("load = %v", m.Value)
+	}
+	if got := agg.ClusterLoad(); got != 0.5 {
+		t.Fatalf("ClusterLoad = %v", got)
+	}
+	if agg.Polls() != 1 {
+		t.Fatalf("Polls = %d", agg.Polls())
+	}
+}
+
+func TestAggregatorPeriodicPolling(t *testing.T) {
+	c := cluster.NewLittleFe()
+	c.PowerOnAll()
+	eng := sim.NewEngine()
+	agg := NewAggregator(c, 100, nil)
+	agg.Start(eng, 15*time.Second, 4)
+	eng.Run()
+	if agg.Polls() != 4 {
+		t.Fatalf("Polls = %d, want 4", agg.Polls())
+	}
+	s := agg.Series("littlefe-head", "power_watts")
+	if s == nil || s.Len() != 4 {
+		t.Fatalf("head power series missing or wrong length")
+	}
+	if m, _ := s.Latest(); m.At != sim.Time(60*time.Second) {
+		t.Fatalf("last sample at %v", m.At)
+	}
+}
+
+func TestExportXMLAndHTTP(t *testing.T) {
+	c := cluster.NewLittleFe()
+	c.PowerOnAll()
+	agg := NewAggregator(c, 4, func(string) float64 { return 1.0 })
+	agg.Poll(0)
+	data, err := agg.ExportXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := string(data)
+	for _, want := range []string{"GANGLIA_XML", `SOURCE="LittleFe"`, `NAME="littlefe-head"`, `NAME="load_one"`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML missing %q:\n%s", want, xml)
+		}
+	}
+	ts := httptest.NewServer(agg)
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 || !strings.Contains(res.Header.Get("Content-Type"), "xml") {
+		t.Fatalf("HTTP export: %d %s", res.StatusCode, res.Header.Get("Content-Type"))
+	}
+}
+
+func TestReport(t *testing.T) {
+	c := cluster.NewLimulusHPC200()
+	c.PowerOnAll()
+	agg := NewAggregator(c, 4, func(string) float64 { return 0.25 })
+	agg.Poll(0)
+	rep := agg.Report()
+	if !strings.Contains(rep, "4 hosts reporting") || !strings.Contains(rep, "limulus") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+func TestClusterLoadEmpty(t *testing.T) {
+	c := cluster.NewLittleFe() // all off
+	agg := NewAggregator(c, 4, nil)
+	agg.Poll(0)
+	if agg.ClusterLoad() != 0 {
+		t.Fatal("no hosts -> zero load")
+	}
+}

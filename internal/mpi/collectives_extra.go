@@ -1,0 +1,106 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives used by the examples and by scatter/gather-style
+// scientific workloads.
+
+const (
+	scatterTag = -1003
+	scanTag    = -1004
+)
+
+// Scatter distributes equal-length chunks of root's buffer to all ranks:
+// rank i receives buf[i*chunk:(i+1)*chunk]. Non-root callers pass data nil;
+// every caller receives its chunk as the return value.
+func (c *Comm) Scatter(root int, data []float64, chunk int) ([]float64, error) {
+	size := c.world.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: scatter from invalid root %d", root)
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("mpi: scatter chunk must be positive")
+	}
+	if c.rank == root {
+		if len(data) < chunk*size {
+			return nil, fmt.Errorf("mpi: scatter needs %d elements, have %d", chunk*size, len(data))
+		}
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, scatterTag, data[r*chunk:(r+1)*chunk]); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]float64, chunk)
+		copy(out, data[root*chunk:(root+1)*chunk])
+		return out, nil
+	}
+	got, _, err := c.Recv(root, scatterTag)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) != chunk {
+		return nil, fmt.Errorf("mpi: scatter chunk mismatch: want %d, got %d", chunk, len(got))
+	}
+	return got, nil
+}
+
+// Scan computes an inclusive prefix reduction: rank i receives
+// op(buf_0, ..., buf_i) elementwise. Linear-chain implementation (the
+// latency-optimal algorithms don't matter at simulated scale).
+func (c *Comm) Scan(buf []float64, op ReduceOp) error {
+	if c.rank > 0 {
+		prev, _, err := c.Recv(c.rank-1, scanTag)
+		if err != nil {
+			return err
+		}
+		if len(prev) != len(buf) {
+			return fmt.Errorf("mpi: scan length mismatch")
+		}
+		for i := range buf {
+			buf[i] = op(prev[i], buf[i])
+		}
+	}
+	if c.rank < c.world.size-1 {
+		return c.Send(c.rank+1, scanTag, buf)
+	}
+	return nil
+}
+
+// PingPong measures the modelled round-trip cost of an nbytes message
+// between ranks a and b; callable from any rank, returns the modelled
+// seconds on rank a and zero elsewhere. Used by examples to validate the
+// network model against expectations.
+func (c *Comm) PingPong(a, b, nbytes int) (float64, error) {
+	if a == b {
+		return 0, fmt.Errorf("mpi: pingpong needs distinct ranks")
+	}
+	payload := make([]float64, nbytes/8)
+	const tag = -1005
+	switch c.rank {
+	case a:
+		before := c.world.rankCommSecs(a)
+		if err := c.Send(b, tag, payload); err != nil {
+			return 0, err
+		}
+		if _, _, err := c.Recv(b, tag); err != nil {
+			return 0, err
+		}
+		return c.world.rankCommSecs(a) - before, nil
+	case b:
+		if _, _, err := c.Recv(a, tag); err != nil {
+			return 0, err
+		}
+		return 0, c.Send(a, tag, payload)
+	}
+	return 0, nil
+}
+
+// rankCommSecs reads one rank's modelled communication clock.
+func (w *World) rankCommSecs(rank int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commSecs[rank]
+}

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"xcbc/internal/cluster"
+)
+
+func TestScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		for root := 0; root < n; root++ {
+			w := world(t, n)
+			err := w.Run(func(c *Comm) error {
+				var data []float64
+				if c.Rank() == root {
+					data = make([]float64, 3*n)
+					for i := range data {
+						data[i] = float64(i)
+					}
+				}
+				chunk, err := c.Scatter(root, data, 3)
+				if err != nil {
+					return err
+				}
+				for i, v := range chunk {
+					want := float64(c.Rank()*3 + i)
+					if v != want {
+						return fmt.Errorf("rank %d chunk[%d] = %v, want %v", c.Rank(), i, v, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(9, nil, 1); err == nil {
+				return fmt.Errorf("invalid root accepted")
+			}
+			if _, err := c.Scatter(0, []float64{1}, 0); err == nil {
+				return fmt.Errorf("zero chunk accepted")
+			}
+			if _, err := c.Scatter(0, []float64{1}, 4); err == nil {
+				return fmt.Errorf("short buffer accepted")
+			}
+			// Unblock rank 1 which waits in a real scatter.
+			_, err := c.Scatter(0, []float64{1, 2}, 1)
+			return err
+		}
+		_, err := c.Scatter(0, nil, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanPrefixSum(t *testing.T) {
+	n := 6
+	w := world(t, n)
+	err := w.Run(func(c *Comm) error {
+		buf := []float64{float64(c.Rank() + 1)}
+		if err := c.Scan(buf, OpSum); err != nil {
+			return err
+		}
+		want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if buf[0] != want {
+			return fmt.Errorf("rank %d scan = %v, want %v", c.Rank(), buf[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongMatchesModel(t *testing.T) {
+	w := world(t, 2)
+	var rtt float64
+	err := w.Run(func(c *Comm) error {
+		v, err := c.PingPong(0, 1, 1<<20)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rtt = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two transfers of 1 MiB over GigE: 2*(50us + 2^20/1.25e8).
+	want := 2 * (50e-6 + float64(1<<20)/cluster.GigabitEthernet.BytesPerSec())
+	if diff := rtt - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("rtt = %v, want %v", rtt, want)
+	}
+}
+
+func TestPingPongSameRankRejected(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.PingPong(0, 0, 8); err == nil {
+				return fmt.Errorf("same-rank pingpong accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

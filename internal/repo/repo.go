@@ -1,0 +1,298 @@
+// Package repo implements Yum-style package repositories: named collections
+// of packages with generated metadata (checksums, package lists), client-side
+// repository configuration with priorities (the yum-plugin-priorities
+// behaviour the paper's XNIT instructions require), and an HTTP server that
+// exports repository metadata the way cb-repo.iu.xsede.org exported the
+// XSEDE Yum repository.
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xcbc/internal/rpm"
+)
+
+// DefaultPriority is the priority assigned to repositories that do not set
+// one; yum-plugin-priorities uses 99.
+const DefaultPriority = 99
+
+// Repository is a published collection of packages. It is safe for concurrent
+// use: publishing and querying may interleave (a mirror being updated while
+// clients resolve).
+type Repository struct {
+	ID      string // short name, e.g. "xsede"
+	Name    string // human-readable, e.g. "XSEDE National Integration Toolkit"
+	BaseURL string // where the repo is nominally served from
+
+	mu       sync.RWMutex
+	packages map[string][]*rpm.Package // name -> builds
+	revision int                       // bumped on every publish/retract
+}
+
+// New creates an empty repository.
+func New(id, name, baseURL string) *Repository {
+	return &Repository{
+		ID:       id,
+		Name:     name,
+		BaseURL:  baseURL,
+		packages: make(map[string][]*rpm.Package),
+	}
+}
+
+// Publish adds packages to the repository. Re-publishing an identical NEVRA
+// is an error: released RPMs are immutable, a new build needs a new release.
+func (r *Repository) Publish(pkgs ...*rpm.Package) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range pkgs {
+		for _, q := range r.packages[p.Name] {
+			if q.EVR.Compare(p.EVR) == 0 && q.Arch == p.Arch {
+				return fmt.Errorf("repo %s: %s already published", r.ID, p.NEVRA())
+			}
+		}
+	}
+	for _, p := range pkgs {
+		r.packages[p.Name] = append(r.packages[p.Name], p)
+	}
+	r.revision++
+	return nil
+}
+
+// Retract removes a published package (used to model pulled packages).
+func (r *Repository) Retract(nevra string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, ps := range r.packages {
+		for i, p := range ps {
+			if p.NEVRA() == nevra {
+				r.packages[name] = append(ps[:i:i], ps[i+1:]...)
+				if len(r.packages[name]) == 0 {
+					delete(r.packages, name)
+				}
+				r.revision++
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("repo %s: %s not published", r.ID, nevra)
+}
+
+// Revision returns a counter that changes whenever repository content
+// changes; clients use it to detect staleness.
+func (r *Repository) Revision() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.revision
+}
+
+// Len returns the number of published packages.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, ps := range r.packages {
+		n += len(ps)
+	}
+	return n
+}
+
+// Get returns all builds of a named package, newest first.
+func (r *Repository) Get(name string) []*rpm.Package {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ps := append([]*rpm.Package(nil), r.packages[name]...)
+	rpm.SortPackages(ps)
+	return ps
+}
+
+// Newest returns the newest build of a named package, or nil.
+func (r *Repository) Newest(name string) *rpm.Package {
+	ps := r.Get(name)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// All returns every published package sorted by NEVRA.
+func (r *Repository) All() []*rpm.Package {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*rpm.Package
+	for _, ps := range r.packages {
+		out = append(out, ps...)
+	}
+	rpm.SortPackages(out)
+	return out
+}
+
+// WhoProvides returns published packages satisfying the capability,
+// newest first.
+func (r *Repository) WhoProvides(req rpm.Capability) []*rpm.Package {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*rpm.Package
+	for _, ps := range r.packages {
+		for _, p := range ps {
+			if p.ProvidesCap(req) {
+				out = append(out, p)
+			}
+		}
+	}
+	rpm.SortPackages(out)
+	return out
+}
+
+// Names returns the sorted set of package names in the repository.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.packages))
+	for n := range r.packages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Config is a client-side repository configuration entry, the in-memory
+// equivalent of a file in /etc/yum.repos.d.
+type Config struct {
+	Repo     *Repository
+	Priority int  // lower wins, as in yum-plugin-priorities
+	Enabled  bool // enabled=1
+	GPGCheck bool // gpgcheck=1 (modelled as metadata checksum verification)
+}
+
+// Set is an ordered collection of repository configurations — the client's
+// complete yum.repos.d. Priority shadowing is applied across repositories.
+type Set struct {
+	configs []Config
+}
+
+// NewSet builds a set from configs.
+func NewSet(configs ...Config) *Set {
+	s := &Set{}
+	for _, c := range configs {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add appends a repository configuration; a zero priority is replaced by
+// DefaultPriority.
+func (s *Set) Add(c Config) {
+	if c.Priority == 0 {
+		c.Priority = DefaultPriority
+	}
+	s.configs = append(s.configs, c)
+}
+
+// Remove drops the configuration for a repository ID, reporting whether it
+// was present.
+func (s *Set) Remove(id string) bool {
+	for i, c := range s.configs {
+		if c.Repo.ID == id {
+			s.configs = append(s.configs[:i:i], s.configs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Enable toggles a repository by ID, reporting whether it was found.
+func (s *Set) Enable(id string, enabled bool) bool {
+	for i, c := range s.configs {
+		if c.Repo.ID == id {
+			s.configs[i].Enabled = enabled
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled returns the enabled configurations sorted by priority (best first),
+// ties broken by configuration order.
+func (s *Set) Enabled() []Config {
+	var out []Config
+	for _, c := range s.configs {
+		if c.Enabled {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+// Configs returns all configurations in insertion order.
+func (s *Set) Configs() []Config { return append([]Config(nil), s.configs...) }
+
+// Candidates returns the available builds of a named package after priority
+// shadowing: if any higher-priority (lower number) enabled repository carries
+// the name, lower-priority repositories' builds of that name are hidden.
+// This is exactly yum-plugin-priorities semantics and is what lets XNIT
+// coexist with a vendor repository without hijacking base packages.
+func (s *Set) Candidates(name string) []*rpm.Package {
+	best := -1
+	var out []*rpm.Package
+	for _, c := range s.Enabled() {
+		ps := c.Repo.Get(name)
+		if len(ps) == 0 {
+			continue
+		}
+		if best == -1 {
+			best = c.Priority
+		}
+		if c.Priority != best {
+			break // sorted by priority; everything further is shadowed
+		}
+		out = append(out, ps...)
+	}
+	rpm.SortPackages(out)
+	return out
+}
+
+// Best returns the single best candidate for a name: newest EVR from the
+// highest-priority repository carrying it, or nil.
+func (s *Set) Best(name string) *rpm.Package {
+	ps := s.Candidates(name)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// BestProvider returns the best package satisfying a capability. Named
+// lookups go through priority shadowing; pure capability lookups scan all
+// enabled repositories in priority order.
+func (s *Set) BestProvider(req rpm.Capability) *rpm.Package {
+	// Prefer a package whose own name matches, like Yum.
+	if p := s.Best(req.Name); p != nil && p.ProvidesCap(req) {
+		return p
+	}
+	for _, c := range s.Enabled() {
+		ps := c.Repo.WhoProvides(req)
+		if len(ps) > 0 {
+			return ps[0]
+		}
+	}
+	return nil
+}
+
+// AllNames returns the union of package names over enabled repositories.
+func (s *Set) AllNames() []string {
+	seen := make(map[string]bool)
+	for _, c := range s.Enabled() {
+		for _, n := range c.Repo.Names() {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

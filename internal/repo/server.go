@@ -1,0 +1,111 @@
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes one or more repositories over HTTP the way the XSEDE
+// Campus Bridging team served cb-repo.iu.xsede.org: a README at the root,
+// per-repository metadata, and per-package records.
+//
+// Routes:
+//
+//	GET /                                  — README listing repositories
+//	GET /{repo}/repodata/repomd.json       — full metadata
+//	GET /{repo}/packages/{nevra}.rpm       — package record (the "download")
+type Server struct {
+	repos map[string]*Repository
+	clock func() time.Time
+}
+
+// NewServer builds a server for the given repositories. clock may be nil, in
+// which case time.Now is used; tests inject a fixed clock.
+func NewServer(clock func() time.Time, repos ...*Repository) *Server {
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{repos: make(map[string]*Repository), clock: clock}
+	for _, r := range repos {
+		s.repos[r.ID] = r
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := strings.Trim(req.URL.Path, "/")
+	if path == "" {
+		s.serveReadme(w)
+		return
+	}
+	parts := strings.Split(path, "/")
+	r, ok := s.repos[parts[0]]
+	if !ok {
+		http.Error(w, "unknown repository", http.StatusNotFound)
+		return
+	}
+	switch {
+	case len(parts) == 3 && parts[1] == "repodata" && parts[2] == "repomd.json":
+		md := r.GenerateMetadata(s.clock())
+		data, err := md.EncodeJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case len(parts) == 3 && parts[1] == "packages":
+		nevra := strings.TrimSuffix(parts[2], ".rpm")
+		for _, p := range r.All() {
+			if p.NEVRA() == nevra {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(map[string]any{
+					"nevra":  p.NEVRA(),
+					"size":   p.SizeBytes,
+					"sha256": Checksum(p),
+				})
+				return
+			}
+		}
+		http.Error(w, "package not found", http.StatusNotFound)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) serveReadme(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "XSEDE Yum Repository (readme.xsederepo)")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "To use: install yum-plugin-priorities, then create")
+	fmt.Fprintln(w, "/etc/yum.repos.d/xsede.repo with:")
+	fmt.Fprintln(w, "")
+	for _, r := range s.sortedRepos() {
+		fmt.Fprintf(w, "  [%s]\n", r.ID)
+		fmt.Fprintf(w, "  name=%s\n", r.Name)
+		fmt.Fprintf(w, "  baseurl=%s\n", r.BaseURL)
+		fmt.Fprintf(w, "  enabled=1\n  priority=50\n  gpgcheck=1\n\n")
+	}
+}
+
+func (s *Server) sortedRepos() []*Repository {
+	ids := make([]string, 0, len(s.repos))
+	for id := range s.repos {
+		ids = append(ids, id)
+	}
+	// Small n; simple insertion keeps output stable.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]*Repository, len(ids))
+	for i, id := range ids {
+		out[i] = s.repos[id]
+	}
+	return out
+}

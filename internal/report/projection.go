@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper's stated goal: "By the end of 2020 ... our goal is to have the
+// aggregate processing capacity of the clusters making use of XCBC and XNIT
+// exceed half a PetaFLOPS." AdoptionProjection computes the compound growth
+// in aggregate Rpeak required to get from Table 3's 2015 baseline to that
+// goal, and renders the trajectory year by year — the quantitative form of
+// the paper's conclusion.
+
+// ProjectionYear is one year of the adoption trajectory.
+type ProjectionYear struct {
+	Year     int
+	TFlops   float64
+	Clusters int // estimated, assuming the 2015 mean cluster size
+}
+
+// AdoptionProjection returns the yearly trajectory from the Table 3
+// aggregate (startYear) to goalTF at endYear under constant compound
+// growth, plus the implied annual growth rate.
+func AdoptionProjection(startYear, endYear int, goalTF float64) ([]ProjectionYear, float64) {
+	baseTF := 0.0
+	clusters := 0
+	for _, row := range Table3Rows() {
+		baseTF += row.TFlops
+		clusters++
+	}
+	years := endYear - startYear
+	rate := math.Pow(goalTF/baseTF, 1/float64(years)) - 1
+	meanTFPerCluster := baseTF / float64(clusters)
+	var out []ProjectionYear
+	tf := baseTF
+	for y := startYear; y <= endYear; y++ {
+		out = append(out, ProjectionYear{
+			Year:     y,
+			TFlops:   tf,
+			Clusters: int(math.Round(tf / meanTFPerCluster)),
+		})
+		tf *= 1 + rate
+	}
+	return out, rate
+}
+
+// RenderProjection prints the trajectory.
+func RenderProjection() string {
+	traj, rate := AdoptionProjection(2015, 2020, 500)
+	var b strings.Builder
+	b.WriteString("Adoption projection (paper conclusion: 0.5 PFLOPS aggregate by end of 2020)\n")
+	fmt.Fprintf(&b, "required compound growth: %.0f%%/year from the Table 3 baseline\n", 100*rate)
+	maxTF := traj[len(traj)-1].TFlops
+	for _, p := range traj {
+		bar := strings.Repeat("#", int(50*p.TFlops/maxTF))
+		fmt.Fprintf(&b, "%d %8.1f TF (~%3d clusters) %s\n", p.Year, p.TFlops, p.Clusters, bar)
+	}
+	return b.String()
+}

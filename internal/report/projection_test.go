@@ -1,0 +1,45 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAdoptionProjectionHitsGoal(t *testing.T) {
+	traj, rate := AdoptionProjection(2015, 2020, 500)
+	if len(traj) != 6 {
+		t.Fatalf("years = %d", len(traj))
+	}
+	if traj[0].Year != 2015 || traj[5].Year != 2020 {
+		t.Fatalf("year range: %v..%v", traj[0].Year, traj[5].Year)
+	}
+	// Baseline is the Table 3 aggregate.
+	if math.Abs(traj[0].TFlops-49.61) > 0.02 {
+		t.Fatalf("baseline = %v", traj[0].TFlops)
+	}
+	// The final year hits the goal.
+	if math.Abs(traj[5].TFlops-500) > 0.5 {
+		t.Fatalf("2020 = %v, want 500", traj[5].TFlops)
+	}
+	// The required growth is steep (the paper's goal was ambitious):
+	// 500/49.61 over 5 years is ~59%/year.
+	if rate < 0.5 || rate > 0.7 {
+		t.Fatalf("rate = %v", rate)
+	}
+	// Monotone growth.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].TFlops <= traj[i-1].TFlops {
+			t.Fatal("trajectory must grow")
+		}
+	}
+}
+
+func TestRenderProjection(t *testing.T) {
+	out := RenderProjection()
+	for _, want := range []string{"0.5 PFLOPS", "2015", "2020", "%/year"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("projection missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package report regenerates every table and figure in the paper's
+// evaluation from the simulated system: Table 1 and 2 (XCBC build contents),
+// Table 3 (deployed clusters), Table 4 (luggable cluster characteristics),
+// Table 5 (performance and price/performance), and the ASCII substitutes for
+// Figures 1-3. cmd/tables prints them; the root benchmark harness times and
+// validates them.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/core"
+	"xcbc/internal/hpl"
+)
+
+// Table1 renders Table 1: components of the XCBC build, part 1.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1. Components of current XCBC build Part 1 - General cluster setup\n")
+	fmt.Fprintf(&b, "%-16s %s\n", "Category", "Specific packages")
+	for _, row := range core.Table1() {
+		fmt.Fprintf(&b, "%-16s %s\n", row.Category, row.Packages)
+	}
+	return b.String()
+}
+
+// Table2 renders Table 2: components specific to XSEDE run-alike
+// compatibility, grouped by the paper's categories.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Components of current XCBC build Part 2 - XSEDE run-alike compatibility\n")
+	for _, row := range core.Table2() {
+		fmt.Fprintf(&b, "%-40s (%d packages)\n", row.Category, len(row.Packages))
+		const width = 72
+		line := "  "
+		for _, name := range row.Packages {
+			if len(line)+len(name)+2 > width {
+				b.WriteString(line + "\n")
+				line = "  "
+			}
+			line += name + ", "
+		}
+		b.WriteString(strings.TrimSuffix(line, ", ") + "\n")
+	}
+	return b.String()
+}
+
+// Table3Row is one computed row of Table 3.
+type Table3Row struct {
+	Site   string
+	Nodes  int
+	Cores  int
+	TFlops float64
+	Other  string
+}
+
+// Table3Rows computes the deployed-cluster inventory from the hardware
+// catalog.
+func Table3Rows() []Table3Row {
+	var rows []Table3Row
+	for _, site := range cluster.Table3Sites() {
+		c := site.Build()
+		rows = append(rows, Table3Row{
+			Site:   site.Site,
+			Nodes:  c.NodeCount(),
+			Cores:  c.Cores(),
+			TFlops: math.Round(c.RpeakGFLOPS()/10) / 100, // 2 decimals like the paper
+			Other:  site.OtherInfo,
+		})
+	}
+	return rows
+}
+
+// Table3 renders Table 3 with the aggregate row (paper total: 49.61 TF).
+func Table3() string {
+	var b strings.Builder
+	b.WriteString("Table 3. Deployed XCBC Clusters that had XSEDE Campus Bridging team involvement\n")
+	fmt.Fprintf(&b, "%-58s %6s %6s %8s  %s\n", "Site", "Nodes", "Cores", "Rpeak", "Other Info")
+	var nodes, cores int
+	var tf float64
+	for _, r := range Table3Rows() {
+		fmt.Fprintf(&b, "%-58s %6d %6d %8.2f  %s\n", r.Site, r.Nodes, r.Cores, r.TFlops, r.Other)
+		nodes += r.Nodes
+		cores += r.Cores
+		tf += r.TFlops
+	}
+	fmt.Fprintf(&b, "%-58s %6d %6d %8.2f\n", "Total", nodes, cores, tf)
+	return b.String()
+}
+
+// Table4 renders the basic characteristics of the two luggable clusters.
+func Table4() string {
+	var b strings.Builder
+	b.WriteString("Table 4. Basic characteristics of a Limulus HPC200 cluster and a LittleFe cluster\n")
+	fmt.Fprintf(&b, "%-16s %6s %10s %6s %6s\n", "Cluster", "Nodes", "CPU clock", "CPUs", "Cores")
+	for _, c := range []*cluster.Cluster{cluster.NewLittleFe(), cluster.NewLimulusHPC200()} {
+		sockets := 0
+		for _, n := range c.Nodes() {
+			sockets += n.Sockets
+		}
+		fmt.Fprintf(&b, "%-16s %6d %7.1f GHz %6d %6d\n",
+			c.Name, c.NodeCount(), c.Frontend.CPU.ClockGHz, sockets, c.Cores())
+	}
+	return b.String()
+}
+
+// Table5Row is one computed row of Table 5.
+type Table5Row struct {
+	System          string
+	RpeakGF         float64
+	RmaxGF          float64
+	CostUSD         float64
+	DollarPerGFPeak float64
+	DollarPerGFMax  float64
+	RmaxNote        string
+}
+
+// Table5Rows computes performance and price/performance for both machines.
+// Rmax comes from the analytic model calibrated against the Limulus vendor
+// measurement (see internal/hpl); the paper's LittleFe Rmax was itself an
+// estimate (75% of Rpeak) because of a hardware failure before Linpack.
+func Table5Rows() []Table5Row {
+	var rows []Table5Row
+	for _, c := range []*cluster.Cluster{cluster.NewLittleFe(), cluster.NewLimulusHPC200()} {
+		n := hpl.ProblemSize(c, 0.8)
+		res := hpl.Model(c, n, hpl.ModelParams{})
+		note := ""
+		if c.Name == "LittleFe" {
+			note = "paper's value (403.2) was estimated at 75% of Rpeak after a hardware failure"
+		}
+		rows = append(rows, Table5Row{
+			System:          c.Name,
+			RpeakGF:         res.RpeakGF,
+			RmaxGF:          res.RmaxGF,
+			CostUSD:         c.CostUSD,
+			DollarPerGFPeak: hpl.PricePerf(c.CostUSD, res.RpeakGF),
+			DollarPerGFMax:  hpl.PricePerf(c.CostUSD, res.RmaxGF),
+			RmaxNote:        note,
+		})
+	}
+	return rows
+}
+
+// Table5 renders performance and price/performance for LittleFe and the
+// Limulus HPC200.
+func Table5() string {
+	var b strings.Builder
+	b.WriteString("Table 5. Performance and price/performance for LittleFe and Limulus HPC200\n")
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %12s %12s\n",
+		"System", "Rpeak", "Rmax", "Cost", "Rpeak $/GF", "Rmax $/GF")
+	for _, r := range Table5Rows() {
+		fmt.Fprintf(&b, "%-16s %8.1f %8.1f %8.0f %12.0f %12.0f\n",
+			r.System, r.RpeakGF, r.RmaxGF, r.CostUSD,
+			math.Round(r.DollarPerGFPeak), math.Round(r.DollarPerGFMax))
+	}
+	for _, r := range Table5Rows() {
+		if r.RmaxNote != "" {
+			fmt.Fprintf(&b, "* %s: %s\n", r.System, r.RmaxNote)
+		}
+	}
+	return b.String()
+}
+
+// Figure renders the ASCII substitute for the numbered paper figure.
+func Figure(number int) (string, error) {
+	switch number {
+	case 1:
+		return cluster.RenderLittleFeRear(cluster.NewLittleFe()), nil
+	case 2:
+		return cluster.RenderLittleFeFront(cluster.NewLittleFe()), nil
+	case 3:
+		return cluster.RenderLimulusInternals(cluster.NewLimulusHPC200()), nil
+	}
+	return "", fmt.Errorf("report: the paper has figures 1-3, not %d", number)
+}
+
+// All renders every table and figure in order.
+func All() string {
+	var b strings.Builder
+	for _, s := range []string{Table1(), Table2(), Table3(), Table4(), Table5()} {
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	for i := 1; i <= 3; i++ {
+		fig, _ := Figure(i)
+		b.WriteString(fig)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+// Package rocks models the Rocks cluster toolkit the paper's XCBC build
+// depends on: rolls (installable collections of packages wired into a
+// kickstart-style appliance graph), distributions built from rolls, the
+// frontend's cluster database of hosts/appliances/attributes, and the
+// update-roll builder the Rocks documentation recommends for keeping
+// clusters current.
+package rocks
+
+import (
+	"fmt"
+	"sort"
+
+	"xcbc/internal/rpm"
+)
+
+// Appliance is a node type in the Rocks graph; rolls attach package sets to
+// appliances.
+type Appliance string
+
+// Appliance types used by XCBC.
+const (
+	ApplianceFrontend Appliance = "frontend"
+	ApplianceCompute  Appliance = "compute"
+	ApplianceLogin    Appliance = "login"
+	ApplianceNAS      Appliance = "nas"
+)
+
+// Roll is an installable collection: packages plus graph edges describing
+// which appliances receive which package groups. The XSEDE roll is one of
+// these; so are the Rocks optional rolls of Table 1 (hpc, ganglia, area51…).
+type Roll struct {
+	Name     string
+	Version  string
+	Optional bool // optional rolls can be deselected at install time
+	Summary  string
+
+	packages map[Appliance][]*rpm.Package
+	// nodesXML models the roll's graph nodes: named package groups that the
+	// kickstart graph stitches into appliances.
+	order []Appliance
+}
+
+// NewRoll creates an empty roll.
+func NewRoll(name, version, summary string, optional bool) *Roll {
+	return &Roll{
+		Name:     name,
+		Version:  version,
+		Optional: optional,
+		Summary:  summary,
+		packages: make(map[Appliance][]*rpm.Package),
+	}
+}
+
+// AddPackages attaches packages to an appliance type within the roll.
+func (r *Roll) AddPackages(app Appliance, pkgs ...*rpm.Package) *Roll {
+	if _, seen := r.packages[app]; !seen {
+		r.order = append(r.order, app)
+	}
+	r.packages[app] = append(r.packages[app], pkgs...)
+	return r
+}
+
+// PackagesFor returns the packages this roll installs on an appliance type.
+// Frontend appliances also receive everything computes receive (the Rocks
+// frontend carries the full distribution).
+func (r *Roll) PackagesFor(app Appliance) []*rpm.Package {
+	out := append([]*rpm.Package(nil), r.packages[app]...)
+	if app == ApplianceFrontend {
+		out = append(out, r.packages[ApplianceCompute]...)
+	}
+	return dedupe(out)
+}
+
+// AllPackages returns every package in the roll, deduplicated.
+func (r *Roll) AllPackages() []*rpm.Package {
+	var out []*rpm.Package
+	for _, app := range r.order {
+		out = append(out, r.packages[app]...)
+	}
+	return dedupe(out)
+}
+
+// PackageCount returns the number of distinct packages in the roll.
+func (r *Roll) PackageCount() int { return len(r.AllPackages()) }
+
+func (r *Roll) String() string {
+	return fmt.Sprintf("roll %s-%s (%d packages)", r.Name, r.Version, r.PackageCount())
+}
+
+func dedupe(pkgs []*rpm.Package) []*rpm.Package {
+	seen := make(map[string]bool, len(pkgs))
+	out := pkgs[:0:0]
+	for _, p := range pkgs {
+		k := p.NEVRA()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Distribution is the on-disk install tree built from a set of rolls
+// ("rocks create distro"): the package source for kickstarting nodes.
+type Distribution struct {
+	Name  string
+	Rolls []*Roll
+}
+
+// BuildDistribution assembles a distribution from rolls, rejecting duplicate
+// roll names (Rocks requires removing the old roll first).
+func BuildDistribution(name string, rolls ...*Roll) (*Distribution, error) {
+	seen := make(map[string]bool)
+	for _, r := range rolls {
+		if seen[r.Name] {
+			return nil, fmt.Errorf("rocks: roll %s added twice", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return &Distribution{Name: name, Rolls: rolls}, nil
+}
+
+// RollNames returns the sorted roll names in the distribution.
+func (d *Distribution) RollNames() []string {
+	names := make([]string, len(d.Rolls))
+	for i, r := range d.Rolls {
+		names[i] = r.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasRoll reports whether a roll is present.
+func (d *Distribution) HasRoll(name string) bool {
+	for _, r := range d.Rolls {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PackagesFor returns every package the distribution installs on an
+// appliance, across all rolls, newest build winning on name collisions
+// (a roll may update a base package).
+func (d *Distribution) PackagesFor(app Appliance) []*rpm.Package {
+	best := make(map[string]*rpm.Package)
+	for _, r := range d.Rolls {
+		for _, p := range r.PackagesFor(app) {
+			if cur, ok := best[p.Name]; !ok || p.EVR.Compare(cur.EVR) > 0 {
+				best[p.Name] = p
+			}
+		}
+	}
+	out := make([]*rpm.Package, 0, len(best))
+	for _, p := range best {
+		out = append(out, p)
+	}
+	rpm.SortPackages(out)
+	return out
+}
+
+// AllPackages returns every distinct package across rolls.
+func (d *Distribution) AllPackages() []*rpm.Package {
+	var all []*rpm.Package
+	for _, r := range d.Rolls {
+		all = append(all, r.AllPackages()...)
+	}
+	return dedupe(all)
+}
+
+// CreateUpdateRoll builds a roll from the newest builds in the given package
+// lists that are strictly newer than what the distribution carries — the
+// "preferred method" the paper cites from the Rocks documentation for
+// applying updates. The result can be added to a new distribution.
+func (d *Distribution) CreateUpdateRoll(name, version string, available []*rpm.Package) *Roll {
+	current := make(map[string]*rpm.Package)
+	for _, p := range d.AllPackages() {
+		if cur, ok := current[p.Name]; !ok || p.EVR.Compare(cur.EVR) > 0 {
+			current[p.Name] = p
+		}
+	}
+	newest := make(map[string]*rpm.Package)
+	for _, p := range available {
+		cur, installed := current[p.Name]
+		if !installed {
+			continue // update rolls only refresh what the distro already has
+		}
+		if p.EVR.Compare(cur.EVR) <= 0 {
+			continue
+		}
+		if prev, ok := newest[p.Name]; !ok || p.EVR.Compare(prev.EVR) > 0 {
+			newest[p.Name] = p
+		}
+	}
+	roll := NewRoll(name, version, "update roll generated from repository", false)
+	names := make([]string, 0, len(newest))
+	for n := range newest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		roll.AddPackages(ApplianceCompute, newest[n])
+	}
+	return roll
+}

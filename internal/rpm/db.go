@@ -1,0 +1,147 @@
+package rpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DB is the installed-package database of a single node, the analogue of
+// /var/lib/rpm. The zero value is not ready; use NewDB.
+type DB struct {
+	byName map[string][]*Package // multiple EVRs possible (e.g. kernel)
+	files  map[string]string     // file path -> owning package NEVRA
+}
+
+// NewDB returns an empty installed-package database.
+func NewDB() *DB {
+	return &DB{
+		byName: make(map[string][]*Package),
+		files:  make(map[string]string),
+	}
+}
+
+// Len returns the number of installed packages.
+func (db *DB) Len() int {
+	n := 0
+	for _, ps := range db.byName {
+		n += len(ps)
+	}
+	return n
+}
+
+// Installed returns all installed packages sorted by NEVRA.
+func (db *DB) Installed() []*Package {
+	var out []*Package
+	for _, ps := range db.byName {
+		out = append(out, ps...)
+	}
+	SortPackages(out)
+	return out
+}
+
+// Get returns the installed packages with the given name, newest first.
+func (db *DB) Get(name string) []*Package {
+	ps := append([]*Package(nil), db.byName[name]...)
+	SortPackages(ps)
+	return ps
+}
+
+// Newest returns the newest installed package with the given name, or nil.
+func (db *DB) Newest(name string) *Package {
+	ps := db.Get(name)
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// Has reports whether any package with the given name is installed.
+func (db *DB) Has(name string) bool { return len(db.byName[name]) > 0 }
+
+// WhoProvides returns installed packages satisfying the capability.
+func (db *DB) WhoProvides(req Capability) []*Package {
+	var out []*Package
+	for _, ps := range db.byName {
+		for _, p := range ps {
+			if p.ProvidesCap(req) {
+				out = append(out, p)
+			}
+		}
+	}
+	SortPackages(out)
+	return out
+}
+
+// OwnerOf returns the NEVRA of the package owning a file path, if any.
+func (db *DB) OwnerOf(path string) (string, bool) {
+	owner, ok := db.files[path]
+	return owner, ok
+}
+
+// UnmetRequires returns the capabilities required by installed packages that
+// no installed package provides: the database's dependency closure holes.
+// A healthy node has none.
+func (db *DB) UnmetRequires() []Capability {
+	var unmet []Capability
+	for _, ps := range db.byName {
+		for _, p := range ps {
+			for _, req := range p.Requires {
+				if len(db.WhoProvides(req)) == 0 {
+					unmet = append(unmet, req)
+				}
+			}
+		}
+	}
+	sort.Slice(unmet, func(i, j int) bool { return unmet[i].String() < unmet[j].String() })
+	return unmet
+}
+
+// add installs a package record without any checking. Used by Transaction.
+func (db *DB) add(p *Package) error {
+	for _, q := range db.byName[p.Name] {
+		if q.EVR.Compare(p.EVR) == 0 && q.Arch == p.Arch {
+			return fmt.Errorf("rpm: %s is already installed", p.NEVRA())
+		}
+	}
+	for _, f := range p.Files {
+		if owner, ok := db.files[f]; ok {
+			return fmt.Errorf("rpm: file %s from %s conflicts with file from %s", f, p.NEVRA(), owner)
+		}
+	}
+	db.byName[p.Name] = append(db.byName[p.Name], p)
+	for _, f := range p.Files {
+		db.files[f] = p.NEVRA()
+	}
+	return nil
+}
+
+// remove erases a package record. Used by Transaction.
+func (db *DB) remove(p *Package) error {
+	ps := db.byName[p.Name]
+	for i, q := range ps {
+		if q.EVR.Compare(p.EVR) == 0 && q.Arch == p.Arch {
+			db.byName[p.Name] = append(ps[:i:i], ps[i+1:]...)
+			if len(db.byName[p.Name]) == 0 {
+				delete(db.byName, p.Name)
+			}
+			for _, f := range q.Files {
+				delete(db.files, f)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("rpm: %s is not installed", p.NEVRA())
+}
+
+// Clone returns a deep copy of the database. Package pointers are shared
+// (packages are immutable once published).
+func (db *DB) Clone() *DB {
+	out := NewDB()
+	for name, ps := range db.byName {
+		out.byName[name] = append([]*Package(nil), ps...)
+	}
+	for f, o := range db.files {
+		out.files[f] = o
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package rpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVercmpTable(t *testing.T) {
+	// Cases drawn from the rpmvercmp reference test suite.
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0", "1.0", 0},
+		{"1.0", "2.0", -1},
+		{"2.0", "1.0", 1},
+		{"2.0.1", "2.0.1", 0},
+		{"2.0", "2.0.1", -1},
+		{"2.0.1a", "2.0.1a", 0},
+		{"2.0.1a", "2.0.1", 1},
+		{"5.5p1", "5.5p1", 0},
+		{"5.5p1", "5.5p2", -1},
+		{"5.5p10", "5.5p1", 1},
+		{"10xyz", "10.1xyz", -1},
+		{"xyz10", "xyz10", 0},
+		{"xyz10", "xyz10.1", -1},
+		{"xyz.4", "xyz.4", 0},
+		{"xyz.4", "8", -1},
+		{"8", "xyz.4", 1},
+		{"xyz.4", "2", -1},
+		{"5.5p2", "5.6p1", -1},
+		{"5.6p1", "6.5p1", -1},
+		{"6.0.rc1", "6.0", 1},
+		{"10b2", "10a1", 1},
+		{"10a2", "10b2", -1},
+		{"1.0aa", "1.0aa", 0},
+		{"1.0a", "1.0aa", -1},
+		{"10.0001", "10.0001", 0},
+		{"10.0001", "10.1", 0},
+		{"10.1", "10.0001", 0},
+		{"10.0001", "10.0039", -1},
+		{"4.999.9", "5.0", -1},
+		{"20101121", "20101121", 0},
+		{"20101121", "20101122", -1},
+		{"2_0", "2_0", 0},
+		{"2.0", "2_0", 0},
+		{"a", "a", 0},
+		{"a+", "a+", 0},
+		{"a+", "a_", 0},
+		{"+a", "+a", 0},
+		{"+a", "_a", 0},
+		{"+_", "_+", 0},
+		{"+", "_", 0},
+		{"1.0~rc1", "1.0~rc1", 0},
+		{"1.0~rc1", "1.0", -1},
+		{"1.0", "1.0~rc1", 1},
+		{"1.0~rc1", "1.0~rc2", -1},
+		{"1.0~rc1~git123", "1.0~rc1~git123", 0},
+		{"1.0~rc1~git123", "1.0~rc1", -1},
+		{"1.0~rc1", "1.0~rc1~git123", 1},
+		{"1.0^", "1.0^", 0},
+		{"1.0^", "1.0", 1},
+		{"1.0", "1.0^", -1},
+		{"1.0^git1", "1.0^git1", 0},
+		{"1.0^git1", "1.0", 1},
+		{"1.0^git1", "1.0^git2", -1},
+		{"1.0^git1", "1.01", -1},
+		{"1.0^20160101", "1.0^20160101", 0},
+		{"1.0^20160101", "1.0.1", -1},
+		{"1.0^20160102", "1.0^20160101^git1", 1},
+		{"1.0~rc1^git1", "1.0~rc1^git1", 0},
+		{"1.0~rc1^git1", "1.0~rc1", 1},
+		{"1.0^git1~pre", "1.0^git1", -1},
+	}
+	for _, c := range cases {
+		if got := Vercmp(c.a, c.b); got != c.want {
+			t.Errorf("Vercmp(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVercmpPropertyAntisymmetric(t *testing.T) {
+	f := func(a, b versionString) bool {
+		return Vercmp(string(a), string(b)) == -Vercmp(string(b), string(a))
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVercmpPropertyReflexive(t *testing.T) {
+	f := func(a versionString) bool { return Vercmp(string(a), string(a)) == 0 }
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVercmpPropertyTransitiveOnTriples(t *testing.T) {
+	f := func(a, b, c versionString) bool {
+		x, y, z := string(a), string(b), string(c)
+		if Vercmp(x, y) <= 0 && Vercmp(y, z) <= 0 {
+			return Vercmp(x, z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// versionString generates realistic version strings for property tests.
+type versionString string
+
+func (versionString) Generate(r *rand.Rand, _ int) interface{} {
+	pieces := []string{"0", "1", "2", "10", "04", "a", "b", "rc", "git", "el6", "p", "~", "^", ".", "-", "_"}
+	n := 1 + r.Intn(6)
+	s := ""
+	for i := 0; i < n; i++ {
+		s += pieces[r.Intn(len(pieces))]
+	}
+	if s == "" {
+		s = "1"
+	}
+	return versionString(s)
+}
+
+func quickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(42))}
+}
+
+func TestParseEVR(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    EVR
+		wantErr bool
+	}{
+		{"1.2.3-4.el6", EVR{0, "1.2.3", "4.el6"}, false},
+		{"2:1.4-5", EVR{2, "1.4", "5"}, false},
+		{"1.2.3", EVR{0, "1.2.3", ""}, false},
+		{"0:6.1.1-1", EVR{0, "6.1.1", "1"}, false},
+		{"3.10.0-229.el7", EVR{0, "3.10.0", "229.el7"}, false},
+		{"", EVR{}, true},
+		{":1.0", EVR{}, true},
+		{"x:1.0", EVR{}, true},
+		{"-1", EVR{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseEVR(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseEVR(%q) should fail, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseEVR(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseEVR(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEVRStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"1.2.3-4.el6", "2:1.4-5", "1.2.3", "10:0.9-0.1"} {
+		evr := MustParseEVR(s)
+		back, err := ParseEVR(evr.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", s, err)
+		}
+		if back != evr {
+			t.Errorf("round trip %q: got %+v, want %+v", s, back, evr)
+		}
+	}
+}
+
+func TestEVRCompareEpochDominates(t *testing.T) {
+	lo := MustParseEVR("9.9-9")
+	hi := MustParseEVR("1:0.1-1")
+	if lo.Compare(hi) >= 0 {
+		t.Error("epoch 1 should beat any epoch-0 version")
+	}
+	if hi.Compare(lo) <= 0 {
+		t.Error("compare should be antisymmetric")
+	}
+}
+
+func TestEVRCompareReleaseBreaksTies(t *testing.T) {
+	a := MustParseEVR("1.0-1")
+	b := MustParseEVR("1.0-2")
+	if a.Compare(b) != -1 {
+		t.Errorf("1.0-1 vs 1.0-2 = %d, want -1", a.Compare(b))
+	}
+	if a.Compare(a) != 0 {
+		t.Error("self-compare should be 0")
+	}
+}
+
+func TestMustParseEVRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseEVR should panic on bad input")
+		}
+	}()
+	MustParseEVR("")
+}

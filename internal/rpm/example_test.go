@@ -1,0 +1,47 @@
+package rpm_test
+
+import (
+	"fmt"
+
+	"xcbc/internal/rpm"
+)
+
+func ExampleVercmp() {
+	fmt.Println(rpm.Vercmp("1.0~rc1", "1.0"))
+	fmt.Println(rpm.Vercmp("2.6.32-431.el6", "2.6.32-504.el6"))
+	fmt.Println(rpm.Vercmp("10.0001", "10.1"))
+	// Output:
+	// -1
+	// -1
+	// 0
+}
+
+func ExampleTransaction() {
+	db := rpm.NewDB()
+	gcc := rpm.NewPackage("gcc", "4.4.7-11.el6", rpm.ArchX86_64).Build()
+	mpi := rpm.NewPackage("openmpi", "1.6.4-3.el6", rpm.ArchX86_64).
+		Requires(rpm.CapVer("gcc", rpm.GE, "4.4")).
+		Build()
+
+	var tx rpm.Transaction
+	tx.Install(mpi) // alone this would fail: gcc missing
+	tx.Install(gcc) // same transaction satisfies it
+	if err := tx.Run(db); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(db.Newest("openmpi").NEVRA())
+	fmt.Println(len(db.UnmetRequires()), "unmet requirements")
+	// Output:
+	// openmpi-1.6.4-3.el6.x86_64
+	// 0 unmet requirements
+}
+
+func ExampleCapability_Satisfies() {
+	provided := rpm.CapVer("hdf5", rpm.EQ, "1.8.9-3.el6")
+	fmt.Println(provided.Satisfies(rpm.CapVer("hdf5", rpm.GE, "1.8")))
+	fmt.Println(provided.Satisfies(rpm.CapVer("hdf5", rpm.GE, "1.9")))
+	// Output:
+	// true
+	// false
+}

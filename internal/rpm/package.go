@@ -1,0 +1,346 @@
+package rpm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is the comparison operator in a versioned capability, e.g. the
+// ">=" in "openmpi >= 1.6".
+type Relation int
+
+// Capability relations.
+const (
+	Any Relation = iota // no version constraint
+	EQ
+	LT
+	LE
+	GT
+	GE
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Any:
+		return ""
+	case EQ:
+		return "="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Capability is something a package provides or requires: a name with an
+// optional versioned relation.
+type Capability struct {
+	Name string
+	Rel  Relation
+	EVR  EVR
+}
+
+// Cap builds an unversioned capability.
+func Cap(name string) Capability { return Capability{Name: name} }
+
+// CapVer builds a versioned capability such as CapVer("gcc", GE, "4.4").
+func CapVer(name string, rel Relation, evr string) Capability {
+	return Capability{Name: name, Rel: rel, EVR: MustParseEVR(evr)}
+}
+
+func (c Capability) String() string {
+	if c.Rel == Any {
+		return c.Name
+	}
+	return fmt.Sprintf("%s %s %s", c.Name, c.Rel, c.EVR)
+}
+
+// Satisfies reports whether a provided capability satisfies a required one.
+// Names must match exactly; then version ranges must overlap. An unversioned
+// side satisfies any constraint on the same name, matching RPM behaviour.
+func (c Capability) Satisfies(req Capability) bool {
+	if c.Name != req.Name {
+		return false
+	}
+	if c.Rel == Any || req.Rel == Any {
+		return true
+	}
+	cmp := c.EVR.Compare(req.EVR)
+	switch req.Rel {
+	case EQ:
+		return relAdmits(c.Rel, cmp, true)
+	case LT:
+		return relAdmitsBelow(c.Rel, cmp)
+	case LE:
+		return relAdmitsBelow(c.Rel, cmp) || relAdmits(c.Rel, cmp, true)
+	case GT:
+		return relAdmitsAbove(c.Rel, cmp)
+	case GE:
+		return relAdmitsAbove(c.Rel, cmp) || relAdmits(c.Rel, cmp, true)
+	}
+	return false
+}
+
+// relAdmits reports whether the provider relation, whose version compares to
+// the requirement version as cmp, can supply exactly the requirement version.
+func relAdmits(provRel Relation, cmp int, _ bool) bool {
+	switch provRel {
+	case EQ:
+		return cmp == 0
+	case LT:
+		return cmp > 0 // provides versions strictly below provEVR, which must exceed req
+	case LE:
+		return cmp >= 0
+	case GT:
+		return cmp < 0
+	case GE:
+		return cmp <= 0
+	}
+	return false
+}
+
+// relAdmitsBelow reports whether the provider can supply some version
+// strictly below the requirement version.
+func relAdmitsBelow(provRel Relation, cmp int) bool {
+	switch provRel {
+	case EQ:
+		return cmp < 0
+	case LT, LE:
+		return true // provider range extends downward without bound
+	case GT:
+		return cmp < 0
+	case GE:
+		return cmp < 0
+	}
+	return false
+}
+
+// relAdmitsAbove reports whether the provider can supply some version
+// strictly above the requirement version.
+func relAdmitsAbove(provRel Relation, cmp int) bool {
+	switch provRel {
+	case EQ:
+		return cmp > 0
+	case GT, GE:
+		return true // provider range extends upward without bound
+	case LT:
+		return cmp > 0
+	case LE:
+		return cmp > 0
+	}
+	return false
+}
+
+// Arch is a package architecture.
+type Arch string
+
+// Architectures used by the XCBC/XNIT catalogs.
+const (
+	ArchX86_64 Arch = "x86_64"
+	ArchNoarch Arch = "noarch"
+	ArchSrc    Arch = "src"
+)
+
+// Package is a single installable software package (an "RPM").
+type Package struct {
+	Name      string
+	EVR       EVR
+	Arch      Arch
+	Summary   string
+	Category  string // catalog grouping used by the XCBC tables
+	SizeBytes int64
+	License   string
+
+	Provides  []Capability
+	Requires  []Capability
+	Conflicts []Capability
+	Obsoletes []Capability
+	Files     []string
+}
+
+// NEVRA renders the full package identity, e.g. "openmpi-1.6.4-3.el6.x86_64".
+func (p *Package) NEVRA() string {
+	return fmt.Sprintf("%s-%s.%s", p.Name, p.EVR, p.Arch)
+}
+
+// NVR renders name-version-release without the architecture.
+func (p *Package) NVR() string {
+	return fmt.Sprintf("%s-%s", p.Name, p.EVR)
+}
+
+func (p *Package) String() string { return p.NEVRA() }
+
+// SelfProvides returns the implicit capability every package provides:
+// its own name at its exact EVR.
+func (p *Package) SelfProvides() Capability {
+	return Capability{Name: p.Name, Rel: EQ, EVR: p.EVR}
+}
+
+// AllProvides returns the package's explicit provides plus its self-provide.
+func (p *Package) AllProvides() []Capability {
+	out := make([]Capability, 0, len(p.Provides)+1)
+	out = append(out, p.SelfProvides())
+	out = append(out, p.Provides...)
+	return out
+}
+
+// ProvidesCap reports whether the package satisfies the required capability,
+// either through its name/EVR or an explicit provide.
+func (p *Package) ProvidesCap(req Capability) bool {
+	for _, c := range p.AllProvides() {
+		if c.Satisfies(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConflictsWith reports whether p declares a conflict that q matches, in
+// either direction.
+func (p *Package) ConflictsWith(q *Package) bool {
+	for _, c := range p.Conflicts {
+		if q.ProvidesCap(c) {
+			return true
+		}
+	}
+	for _, c := range q.Conflicts {
+		if p.ProvidesCap(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObsoletesPkg reports whether p obsoletes q (used by upgrade logic: an
+// obsoleting package replaces the obsoleted one).
+func (p *Package) ObsoletesPkg(q *Package) bool {
+	for _, c := range p.Obsoletes {
+		if c.Name == q.Name {
+			if c.Rel == Any || (Capability{Name: q.Name, Rel: EQ, EVR: q.EVR}).Satisfies(c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the package, used when publishing the same
+// logical package into multiple repositories.
+func (p *Package) Clone() *Package {
+	q := *p
+	q.Provides = append([]Capability(nil), p.Provides...)
+	q.Requires = append([]Capability(nil), p.Requires...)
+	q.Conflicts = append([]Capability(nil), p.Conflicts...)
+	q.Obsoletes = append([]Capability(nil), p.Obsoletes...)
+	q.Files = append([]string(nil), p.Files...)
+	return &q
+}
+
+// Builder provides fluent construction of packages for the static catalogs.
+type Builder struct{ p Package }
+
+// NewPackage starts building a package with the given name, EVR string, and
+// architecture.
+func NewPackage(name, evr string, arch Arch) *Builder {
+	return &Builder{p: Package{Name: name, EVR: MustParseEVR(evr), Arch: arch}}
+}
+
+// Summary sets the one-line description.
+func (b *Builder) Summary(s string) *Builder { b.p.Summary = s; return b }
+
+// Category sets the catalog grouping.
+func (b *Builder) Category(c string) *Builder { b.p.Category = c; return b }
+
+// Size sets the package size in bytes.
+func (b *Builder) Size(n int64) *Builder { b.p.SizeBytes = n; return b }
+
+// License sets the license tag.
+func (b *Builder) License(l string) *Builder { b.p.License = l; return b }
+
+// Provides adds provided capabilities.
+func (b *Builder) Provides(caps ...Capability) *Builder {
+	b.p.Provides = append(b.p.Provides, caps...)
+	return b
+}
+
+// Requires adds required capabilities.
+func (b *Builder) Requires(caps ...Capability) *Builder {
+	b.p.Requires = append(b.p.Requires, caps...)
+	return b
+}
+
+// Conflicts adds conflicting capabilities.
+func (b *Builder) Conflicts(caps ...Capability) *Builder {
+	b.p.Conflicts = append(b.p.Conflicts, caps...)
+	return b
+}
+
+// Obsoletes adds obsoleted capabilities.
+func (b *Builder) Obsoletes(caps ...Capability) *Builder {
+	b.p.Obsoletes = append(b.p.Obsoletes, caps...)
+	return b
+}
+
+// Files adds file paths owned by the package.
+func (b *Builder) Files(paths ...string) *Builder {
+	b.p.Files = append(b.p.Files, paths...)
+	return b
+}
+
+// Build finalizes the package.
+func (b *Builder) Build() *Package {
+	p := b.p
+	return &p
+}
+
+// SortPackages orders packages by name, then EVR descending (newest first),
+// then architecture, the order Yum uses when listing candidates.
+func SortPackages(pkgs []*Package) {
+	sort.SliceStable(pkgs, func(i, j int) bool {
+		if pkgs[i].Name != pkgs[j].Name {
+			return pkgs[i].Name < pkgs[j].Name
+		}
+		if c := pkgs[i].EVR.Compare(pkgs[j].EVR); c != 0 {
+			return c > 0
+		}
+		return pkgs[i].Arch < pkgs[j].Arch
+	})
+}
+
+// ParseCapability parses strings like "openmpi", "gcc >= 4.4", or
+// "hdf5 = 1.8.9-3". It accepts the operators =, ==, <, <=, >, >=.
+func ParseCapability(s string) (Capability, error) {
+	fields := strings.Fields(s)
+	switch len(fields) {
+	case 1:
+		return Capability{Name: fields[0]}, nil
+	case 3:
+		var rel Relation
+		switch fields[1] {
+		case "=", "==":
+			rel = EQ
+		case "<":
+			rel = LT
+		case "<=":
+			rel = LE
+		case ">":
+			rel = GT
+		case ">=":
+			rel = GE
+		default:
+			return Capability{}, fmt.Errorf("rpm: bad relation %q in %q", fields[1], s)
+		}
+		evr, err := ParseEVR(fields[2])
+		if err != nil {
+			return Capability{}, err
+		}
+		return Capability{Name: fields[0], Rel: rel, EVR: evr}, nil
+	}
+	return Capability{}, fmt.Errorf("rpm: cannot parse capability %q", s)
+}

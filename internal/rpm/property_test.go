@@ -1,0 +1,122 @@
+package rpm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the transaction machinery: whatever random operation
+// sequence is attempted, (1) a failed transaction leaves the database
+// byte-identical, (2) a successful transaction leaves the dependency
+// closure intact and file ownership consistent.
+
+// dbFingerprint captures the observable state of a DB.
+func dbFingerprint(db *DB) string {
+	s := ""
+	for _, p := range db.Installed() {
+		s += p.NEVRA() + ";"
+		for _, f := range p.Files {
+			owner, _ := db.OwnerOf(f)
+			s += f + "=" + owner + ";"
+		}
+	}
+	return s
+}
+
+// randomUniverse builds a pool of interdependent packages.
+func randomUniverse(rng *rand.Rand) []*Package {
+	n := 6 + rng.Intn(10)
+	pkgs := make([]*Package, 0, n)
+	for i := 0; i < n; i++ {
+		b := NewPackage(fmt.Sprintf("pkg%c", 'a'+i%26), fmt.Sprintf("%d.%d-%d", 1+rng.Intn(3), rng.Intn(10), 1+rng.Intn(5)), ArchX86_64)
+		// Depend on up to two earlier packages (guarantees resolvability
+		// when installing prefix-closed sets).
+		for d := 0; d < rng.Intn(3) && i > 0; d++ {
+			dep := pkgs[rng.Intn(len(pkgs))]
+			b.Requires(Cap(dep.Name))
+		}
+		if rng.Intn(4) == 0 {
+			b.Files(fmt.Sprintf("/usr/lib/lib%d.so", rng.Intn(5)))
+		}
+		p := b.Build()
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
+func TestTransactionAtomicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pkgs := randomUniverse(rng)
+		db := NewDB()
+		// Seed with a valid prefix (install in order so deps exist).
+		var seedTx Transaction
+		cut := rng.Intn(len(pkgs))
+		seen := map[string]bool{}
+		for _, p := range pkgs[:cut] {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				seedTx.Install(p)
+			}
+		}
+		if seedTx.Len() > 0 {
+			if err := seedTx.Run(db); err != nil {
+				// The random prefix may conflict on files; that's fine —
+				// atomicity still must hold.
+				if dbFingerprint(db) != dbFingerprint(NewDB()) {
+					return false
+				}
+				return true
+			}
+		}
+		before := dbFingerprint(db)
+		// Random follow-up transaction: mix of installs/erases.
+		var tx Transaction
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			if rng.Intn(2) == 0 && db.Len() > 0 {
+				installed := db.Installed()
+				tx.Erase(installed[rng.Intn(len(installed))])
+			} else {
+				tx.Install(pkgs[rng.Intn(len(pkgs))])
+			}
+		}
+		err := tx.Run(db)
+		after := dbFingerprint(db)
+		if err != nil {
+			// Atomicity: failure must not change anything.
+			return before == after
+		}
+		// Success: dependency closure must hold.
+		return len(db.UnmetRequires()) == 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBCloneFingerprintProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pkgs := randomUniverse(rng)
+		db := NewDB()
+		for _, p := range pkgs {
+			_ = db.add(p) // direct add; duplicates/conflicts skipped by error
+		}
+		clone := db.Clone()
+		if dbFingerprint(db) != dbFingerprint(clone) {
+			return false
+		}
+		// Mutating the clone must not affect the original.
+		if clone.Len() > 0 {
+			_ = clone.remove(clone.Installed()[0])
+		}
+		return db.Len() != clone.Len() || db.Len() == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

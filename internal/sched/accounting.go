@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xcbc/internal/sim"
+)
+
+// This file implements the accounting side of the batch system: the
+// per-job records a Torque accounting log would carry, per-user summaries,
+// and cluster utilization — what administrators at the paper's deployment
+// sites use to justify the machine.
+
+// AccountingRecord is one finished job's accounting line.
+type AccountingRecord struct {
+	JobID    int
+	Name     string
+	User     string
+	Cores    int
+	State    JobState
+	Queued   sim.Time
+	Started  sim.Time
+	Ended    sim.Time
+	CoreSecs float64
+}
+
+// Records returns accounting records for all finished jobs in completion
+// order.
+func (m *Manager) Records() []AccountingRecord {
+	out := make([]AccountingRecord, 0, len(m.done))
+	for _, j := range m.done {
+		elapsed := (j.EndTime - j.StartTime).Duration().Seconds()
+		if j.State == StateCancelled && j.StartTime == 0 && j.Alloc == nil {
+			elapsed = 0 // cancelled while queued
+		}
+		out = append(out, AccountingRecord{
+			JobID: j.ID, Name: j.Name, User: j.User, Cores: j.Cores,
+			State: j.State, Queued: j.SubmitTime, Started: j.StartTime,
+			Ended: j.EndTime, CoreSecs: elapsed * float64(j.Cores),
+		})
+	}
+	return out
+}
+
+// UserSummary aggregates one user's consumption.
+type UserSummary struct {
+	User      string
+	Jobs      int
+	CoreSecs  float64
+	MeanWait  time.Duration
+	Completed int
+	Failed    int // cancelled or timed out
+}
+
+// UserSummaries aggregates accounting by user, sorted by core-seconds
+// descending.
+func (m *Manager) UserSummaries() []UserSummary {
+	agg := make(map[string]*UserSummary)
+	waitTotals := make(map[string]time.Duration)
+	for _, j := range m.done {
+		s, ok := agg[j.User]
+		if !ok {
+			s = &UserSummary{User: j.User}
+			agg[j.User] = s
+		}
+		s.Jobs++
+		if j.State == StateCompleted {
+			s.Completed++
+		} else {
+			s.Failed++
+		}
+		if j.Alloc != nil {
+			elapsed := (j.EndTime - j.StartTime).Duration().Seconds()
+			s.CoreSecs += elapsed * float64(j.Cores)
+			waitTotals[j.User] += j.WaitTime()
+		}
+	}
+	out := make([]UserSummary, 0, len(agg))
+	for user, s := range agg {
+		if s.Jobs > 0 {
+			s.MeanWait = waitTotals[user] / time.Duration(s.Jobs)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CoreSecs != out[j].CoreSecs {
+			return out[i].CoreSecs > out[j].CoreSecs
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// Utilization returns delivered core-seconds divided by available
+// core-seconds between simulation start and now, over compute capacity.
+// Jobs still running contribute their elapsed time so far.
+func (m *Manager) Utilization() float64 {
+	now := m.Engine.Now()
+	if now == 0 {
+		return 0
+	}
+	capacity := 0
+	for _, n := range m.Cluster.Computes {
+		capacity += n.Cores()
+	}
+	available := now.Seconds() * float64(capacity)
+	if available == 0 {
+		return 0
+	}
+	delivered := 0.0
+	for _, j := range m.done {
+		if j.Alloc != nil {
+			delivered += (j.EndTime - j.StartTime).Duration().Seconds() * float64(j.Cores)
+		}
+	}
+	for _, j := range m.running {
+		delivered += (now - j.StartTime).Duration().Seconds() * float64(j.Cores)
+	}
+	return delivered / available
+}
+
+// AccountingReport renders the accounting log plus summaries.
+func (m *Manager) AccountingReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job accounting (%s scheduler), utilization %.1f%%\n",
+		m.PolicyName(), 100*m.Utilization())
+	fmt.Fprintf(&b, "%-5s %-14s %-10s %-6s %-10s %-10s %-12s\n",
+		"ID", "NAME", "USER", "CORES", "STATE", "WAIT", "CORE-SECS")
+	for _, r := range m.Records() {
+		wait := (r.Started - r.Queued).Duration()
+		if r.Started == 0 && r.CoreSecs == 0 {
+			wait = 0
+		}
+		fmt.Fprintf(&b, "%-5d %-14s %-10s %-6d %-10s %-10v %-12.0f\n",
+			r.JobID, r.Name, r.User, r.Cores, r.State, wait, r.CoreSecs)
+	}
+	b.WriteString("per-user summary:\n")
+	for _, s := range m.UserSummaries() {
+		fmt.Fprintf(&b, "  %-10s %3d jobs  %10.0f core-secs  mean wait %v\n",
+			s.User, s.Jobs, s.CoreSecs, s.MeanWait)
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package sched_test
+
+import (
+	"fmt"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sched"
+	"xcbc/internal/sim"
+)
+
+// Example shows the batch system's core loop: submit, run, account.
+func Example() {
+	c := cluster.NewLimulusHPC200()
+	c.PowerOnAll()
+	eng := sim.NewEngine()
+	m := sched.NewManager(eng, c, sched.TorqueMaui{})
+
+	id, _ := m.Submit(&sched.Job{
+		Name: "md", User: "kai", Cores: 8,
+		Walltime: time.Hour, Runtime: 20 * time.Minute,
+	})
+	eng.Run()
+
+	j, _ := m.Job(id)
+	fmt.Println(j.State, "in", j.Turnaround())
+	fmt.Printf("utilization %.0f%%\n", 100*m.Utilization())
+	// Output:
+	// completed in 20m0s
+	// utilization 67%
+}
+
+// ExamplePolicyByName demonstrates the Table 1 "choose one" scheduler set.
+func ExamplePolicyByName() {
+	for _, name := range []string{"torque", "slurm", "sge"} {
+		p, _ := sched.PolicyByName(name)
+		fmt.Printf("%s backfill=%v\n", p.Name(), p.Backfill())
+	}
+	// Output:
+	// torque backfill=true
+	// slurm backfill=true
+	// sge backfill=false
+}

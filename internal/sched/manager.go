@@ -1,0 +1,363 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sim"
+)
+
+// Manager is the batch system: a queue, a set of running jobs, and an
+// allocation map over a cluster's compute nodes, driven by a discrete-event
+// engine and parameterized by a Policy.
+type Manager struct {
+	Engine  *sim.Engine
+	Cluster *cluster.Cluster
+	policy  Policy
+
+	nextID  int
+	queue   []*Job
+	running map[int]*Job
+	done    []*Job
+	free    map[string]int     // node name -> free cores
+	usage   map[string]float64 // user -> core-seconds consumed (fair share)
+	drained map[string]bool    // nodes in maintenance: no new placements
+
+	// WakeRequest, if set, is called when queued jobs cannot be placed
+	// because too few powered-on cores exist; the power manager uses it to
+	// wake sleeping nodes. It receives the total core shortfall.
+	WakeRequest func(coresNeeded int)
+
+	// DrainNotify, if set, is called whenever a node goes fully idle; the
+	// power manager uses it to consider powering the node down.
+	DrainNotify func(node string)
+}
+
+// NewManager builds a batch system over the cluster's compute nodes.
+func NewManager(eng *sim.Engine, c *cluster.Cluster, p Policy) *Manager {
+	m := &Manager{
+		Engine:  eng,
+		Cluster: c,
+		policy:  p,
+		nextID:  1,
+		running: make(map[int]*Job),
+		free:    make(map[string]int),
+		usage:   make(map[string]float64),
+	}
+	for _, n := range c.Computes {
+		m.free[n.Name] = n.Cores()
+	}
+	return m
+}
+
+// PolicyName returns the active scheduler personality.
+func (m *Manager) PolicyName() string { return m.policy.Name() }
+
+// SetPolicy swaps the scheduler personality (the paper's "change the
+// schedulers" workflow on the Limulus). Queued jobs are re-evaluated under
+// the new policy; running jobs are unaffected.
+func (m *Manager) SetPolicy(p Policy) {
+	m.policy = p
+	m.schedule()
+}
+
+// TotalCores returns the compute-core capacity of powered-on nodes.
+func (m *Manager) TotalCores() int {
+	total := 0
+	for _, n := range m.Cluster.Computes {
+		if n.Power() == cluster.PowerOn {
+			total += n.Cores()
+		}
+	}
+	return total
+}
+
+// Submit enqueues a job and runs a scheduling pass. The job's Runtime is how
+// long it will actually execute; Walltime is the requested limit.
+func (m *Manager) Submit(j *Job) (int, error) {
+	if j.Cores <= 0 {
+		return 0, fmt.Errorf("sched: job must request at least 1 core")
+	}
+	capacity := 0
+	for _, n := range m.Cluster.Computes {
+		capacity += n.Cores()
+	}
+	if j.Cores > capacity {
+		return 0, fmt.Errorf("sched: job requests %d cores, cluster has %d", j.Cores, capacity)
+	}
+	if j.Walltime <= 0 {
+		j.Walltime = time.Hour
+	}
+	if j.Runtime <= 0 {
+		j.Runtime = j.Walltime / 2
+	}
+	j.ID = m.nextID
+	m.nextID++
+	j.State = StateQueued
+	j.SubmitTime = m.Engine.Now()
+	m.queue = append(m.queue, j)
+	m.schedule()
+	return j.ID, nil
+}
+
+// Cancel removes a queued job or kills a running one.
+func (m *Manager) Cancel(id int) error {
+	for i, j := range m.queue {
+		if j.ID == id {
+			m.queue = append(m.queue[:i:i], m.queue[i+1:]...)
+			j.State = StateCancelled
+			j.EndTime = m.Engine.Now()
+			m.done = append(m.done, j)
+			return nil
+		}
+	}
+	if j, ok := m.running[id]; ok {
+		m.finish(j, StateCancelled)
+		m.schedule()
+		return nil
+	}
+	return fmt.Errorf("sched: no active job %d", id)
+}
+
+// Job finds a job by ID across queue, running set, and history.
+func (m *Manager) Job(id int) (*Job, bool) {
+	for _, j := range m.queue {
+		if j.ID == id {
+			return j, true
+		}
+	}
+	if j, ok := m.running[id]; ok {
+		return j, true
+	}
+	for _, j := range m.done {
+		if j.ID == id {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// Queued returns queued jobs in current policy order.
+func (m *Manager) Queued() []*Job {
+	out := append([]*Job(nil), m.queue...)
+	m.sortQueue(out)
+	return out
+}
+
+// Running returns running jobs ordered by ID.
+func (m *Manager) Running() []*Job {
+	out := make([]*Job, 0, len(m.running))
+	for _, j := range m.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// History returns finished jobs in completion order.
+func (m *Manager) History() []*Job { return append([]*Job(nil), m.done...) }
+
+// Usage returns consumed core-seconds by user (fair-share accounting).
+func (m *Manager) Usage() map[string]float64 {
+	out := make(map[string]float64, len(m.usage))
+	for k, v := range m.usage {
+		out[k] = v
+	}
+	return out
+}
+
+// FreeCores returns currently free cores on a powered-on node.
+func (m *Manager) FreeCores(node string) int {
+	n, ok := m.Cluster.Lookup(node)
+	if !ok || n.Power() == cluster.PowerOff {
+		return 0
+	}
+	return m.free[node]
+}
+
+// IdleNodes returns powered-on compute nodes running nothing.
+func (m *Manager) IdleNodes() []string {
+	var out []string
+	for _, n := range m.Cluster.Computes {
+		if n.Power() == cluster.PowerOn && m.free[n.Name] == n.Cores() {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeBusy reports whether any job occupies the node.
+func (m *Manager) NodeBusy(node string) bool {
+	n, ok := m.Cluster.Lookup(node)
+	if !ok {
+		return false
+	}
+	return m.free[node] < n.Cores()
+}
+
+// sortQueue orders jobs by the active policy.
+func (m *Manager) sortQueue(q []*Job) {
+	now := m.Engine.Now()
+	sort.SliceStable(q, func(i, j int) bool { return m.policy.Less(q[i], q[j], now, m.usage) })
+}
+
+// schedule runs one scheduling pass: start jobs in policy order; if backfill
+// is enabled, lower-priority jobs that fit without delaying the blocked head
+// job may start too.
+func (m *Manager) schedule() {
+	m.sortQueue(m.queue)
+	var blockedHead *Job
+	shortfall := 0
+	i := 0
+	for i < len(m.queue) {
+		j := m.queue[i]
+		alloc := m.tryPlace(j.Cores)
+		if alloc == nil {
+			if blockedHead == nil {
+				blockedHead = j
+				shortfall = j.Cores - m.totalFree()
+			}
+			if !m.policy.Backfill() {
+				break
+			}
+			i++
+			continue
+		}
+		if blockedHead != nil {
+			// Backfill candidate: only start if it finishes before the
+			// blocked head could plausibly start (shadow time = earliest
+			// completion among running jobs that frees enough cores).
+			if !m.fitsInShadow(j) {
+				i++
+				continue
+			}
+		}
+		m.queue = append(m.queue[:i:i], m.queue[i+1:]...)
+		m.start(j, alloc)
+	}
+	if blockedHead != nil && m.WakeRequest != nil && shortfall > 0 {
+		m.WakeRequest(shortfall)
+	}
+}
+
+// totalFree sums free cores over powered-on nodes.
+func (m *Manager) totalFree() int {
+	total := 0
+	for _, n := range m.Cluster.Computes {
+		if n.Power() == cluster.PowerOn {
+			total += m.free[n.Name]
+		}
+	}
+	return total
+}
+
+// tryPlace finds an allocation for the requested cores over powered-on
+// nodes (packing onto the fullest nodes first to reduce fragmentation), or
+// nil if it does not fit.
+func (m *Manager) tryPlace(cores int) map[string]int {
+	type slot struct {
+		name string
+		free int
+	}
+	var slots []slot
+	for _, n := range m.Cluster.Computes {
+		if n.Power() == cluster.PowerOn && m.free[n.Name] > 0 && !m.drained[n.Name] {
+			slots = append(slots, slot{n.Name, m.free[n.Name]})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].free != slots[j].free {
+			return slots[i].free < slots[j].free // fullest (least free) first
+		}
+		return slots[i].name < slots[j].name
+	})
+	alloc := make(map[string]int)
+	remaining := cores
+	for _, s := range slots {
+		if remaining == 0 {
+			break
+		}
+		take := s.free
+		if take > remaining {
+			take = remaining
+		}
+		alloc[s.name] = take
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil
+	}
+	return alloc
+}
+
+// fitsInShadow reports whether a backfill candidate's walltime fits before
+// the earliest time enough resources free up for the blocked head job. The
+// approximation used by real backfill schedulers (EASY backfill) is the
+// earliest completion time among running jobs; we use the latest completion
+// (conservative) to guarantee the head is never delayed.
+func (m *Manager) fitsInShadow(j *Job) bool {
+	if len(m.running) == 0 {
+		return true
+	}
+	var shadow sim.Time
+	for _, r := range m.running {
+		end := r.StartTime + sim.Time(r.Walltime)
+		if end > shadow {
+			shadow = end
+		}
+	}
+	return m.Engine.Now()+sim.Time(j.Walltime) <= shadow
+}
+
+// start allocates and begins a job, scheduling its completion event.
+func (m *Manager) start(j *Job, alloc map[string]int) {
+	for node, c := range alloc {
+		m.free[node] -= c
+	}
+	j.Alloc = alloc
+	j.State = StateRunning
+	j.StartTime = m.Engine.Now()
+	m.running[j.ID] = j
+	dur := j.Runtime
+	final := StateCompleted
+	if j.Runtime > j.Walltime {
+		dur = j.Walltime // killed at the limit
+		final = StateTimeout
+	}
+	j.finish = m.Engine.After(dur, fmt.Sprintf("job-%d-finish", j.ID), func(*sim.Engine) {
+		m.finish(j, final)
+		m.schedule()
+	})
+}
+
+// finish releases a job's resources and records accounting.
+func (m *Manager) finish(j *Job, state JobState) {
+	if j.terminal() {
+		return
+	}
+	if j.finish != nil {
+		m.Engine.Cancel(j.finish)
+	}
+	delete(m.running, j.ID)
+	j.State = state
+	j.EndTime = m.Engine.Now()
+	elapsed := (j.EndTime - j.StartTime).Duration().Seconds()
+	m.usage[j.User] += elapsed * float64(j.Cores)
+	freed := make([]string, 0, len(j.Alloc))
+	for node, c := range j.Alloc {
+		m.free[node] += c
+		freed = append(freed, node)
+	}
+	if m.DrainNotify != nil {
+		sort.Strings(freed)
+		for _, node := range freed {
+			if !m.NodeBusy(node) {
+				m.DrainNotify(node)
+			}
+		}
+	}
+	m.done = append(m.done, j)
+}

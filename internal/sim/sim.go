@@ -1,0 +1,168 @@
+// Package sim provides a small discrete-event simulation engine used by the
+// provisioning, scheduling, monitoring, and power-management substrates.
+//
+// The engine keeps a virtual clock and a priority queue of timed events.
+// Callers schedule events with At or After and advance the clock with Step,
+// RunUntil, or Run. Event handlers run on the caller's goroutine, so no
+// locking is needed for state touched only from handlers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start of
+// the simulation.
+type Time time.Duration
+
+// Infinity is a Time later than any schedulable event.
+const Infinity = Time(math.MaxInt64)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts the time to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. The callback receives the engine so that it
+// can schedule follow-up events.
+type Event struct {
+	At    Time
+	Name  string
+	Fn    func(*Engine)
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	index int    // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already executed.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error that is reported by panicking, since it indicates a logic bug in the
+// simulation rather than a recoverable condition.
+func (e *Engine) At(t Time, name string, fn func(*Engine)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn after delay d from the current virtual time.
+func (e *Engine) After(d time.Duration, name string, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+Time(d), name, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		if ev != nil {
+			ev.index = -2
+		}
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+}
+
+// Step executes the next event, advancing the clock to its time. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.nSteps++
+	ev.index = -2
+	ev.Fn(e)
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// after deadline. The clock is advanced to deadline if it was reached.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && deadline != Infinity {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Advance moves the clock forward by d without executing events scheduled in
+// the skipped interval; it panics if any exist, since silently skipping them
+// would corrupt the simulation.
+func (e *Engine) Advance(d time.Duration) {
+	target := e.now + Time(d)
+	if len(e.queue) > 0 && e.queue[0].At < target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event %q at %v", d, e.queue[0].Name, e.queue[0].At))
+	}
+	e.now = target
+}

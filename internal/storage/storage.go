@@ -1,0 +1,230 @@
+// Package storage models the shared filesystems the Table 3 deployments
+// advertise (Montana State's 300 TB of Lustre, PBARC's 40 TB storage +
+// 60 TB scratch): mounted filesystems with capacity accounting, per-user
+// quotas, and the scratch purge policy every XSEDE site runs. Storage is
+// part of what makes a cluster usable for research, and quota exhaustion is
+// one of the paper's "clusters aren't maintained" failure modes.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xcbc/internal/sim"
+)
+
+// Kind distinguishes persistent from scratch filesystems.
+type Kind int
+
+// Filesystem kinds.
+const (
+	Persistent Kind = iota // /home, project storage
+	Scratch                // purged after PurgeAge
+)
+
+func (k Kind) String() string {
+	if k == Scratch {
+		return "scratch"
+	}
+	return "persistent"
+}
+
+// File is one stored object.
+type File struct {
+	Path     string
+	Owner    string
+	Bytes    int64
+	Modified sim.Time
+}
+
+// Filesystem is one shared mount.
+type Filesystem struct {
+	Name       string
+	Mount      string
+	Kind       Kind
+	CapacityGB int
+	// PurgeAge applies to Scratch: files untouched this long are purged.
+	PurgeAge time.Duration
+
+	files  map[string]File
+	quotas map[string]int64 // user -> byte limit (0 = none)
+}
+
+// NewFilesystem creates an empty mount.
+func NewFilesystem(name, mount string, kind Kind, capacityGB int) *Filesystem {
+	return &Filesystem{
+		Name: name, Mount: mount, Kind: kind, CapacityGB: capacityGB,
+		PurgeAge: 30 * 24 * time.Hour,
+		files:    make(map[string]File),
+		quotas:   make(map[string]int64),
+	}
+}
+
+// SetQuota limits a user's total bytes (0 removes the quota).
+func (fs *Filesystem) SetQuota(user string, bytes int64) {
+	if bytes == 0 {
+		delete(fs.quotas, user)
+		return
+	}
+	fs.quotas[user] = bytes
+}
+
+// UsedBytes returns total consumption.
+func (fs *Filesystem) UsedBytes() int64 {
+	var n int64
+	for _, f := range fs.files {
+		n += f.Bytes
+	}
+	return n
+}
+
+// UsedByUser returns one user's consumption.
+func (fs *Filesystem) UsedByUser(user string) int64 {
+	var n int64
+	for _, f := range fs.files {
+		if f.Owner == user {
+			n += f.Bytes
+		}
+	}
+	return n
+}
+
+// CapacityBytes returns the mount's capacity.
+func (fs *Filesystem) CapacityBytes() int64 { return int64(fs.CapacityGB) * 1e9 }
+
+// ErrQuota and ErrFull are sentinel error kinds surfaced via errors.As.
+type QuotaError struct {
+	User  string
+	Limit int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("storage: user %s over quota (%d bytes)", e.User, e.Limit)
+}
+
+type FullError struct{ Name string }
+
+func (e *FullError) Error() string { return fmt.Sprintf("storage: filesystem %s is full", e.Name) }
+
+// Write stores (or overwrites) a file, enforcing capacity and quota.
+func (fs *Filesystem) Write(path, owner string, bytes int64, now sim.Time) error {
+	var replacing int64
+	if old, ok := fs.files[path]; ok {
+		replacing = old.Bytes
+	}
+	if fs.UsedBytes()-replacing+bytes > fs.CapacityBytes() {
+		return &FullError{Name: fs.Name}
+	}
+	if limit, ok := fs.quotas[owner]; ok {
+		userReplacing := int64(0)
+		if old, ok := fs.files[path]; ok && old.Owner == owner {
+			userReplacing = old.Bytes
+		}
+		if fs.UsedByUser(owner)-userReplacing+bytes > limit {
+			return &QuotaError{User: owner, Limit: limit}
+		}
+	}
+	fs.files[path] = File{Path: path, Owner: owner, Bytes: bytes, Modified: now}
+	return nil
+}
+
+// Touch refreshes a file's modification time (protects it from purge).
+func (fs *Filesystem) Touch(path string, now sim.Time) bool {
+	f, ok := fs.files[path]
+	if !ok {
+		return false
+	}
+	f.Modified = now
+	fs.files[path] = f
+	return true
+}
+
+// Remove deletes a file.
+func (fs *Filesystem) Remove(path string) bool {
+	if _, ok := fs.files[path]; !ok {
+		return false
+	}
+	delete(fs.files, path)
+	return true
+}
+
+// Stat looks up a file.
+func (fs *Filesystem) Stat(path string) (File, bool) {
+	f, ok := fs.files[path]
+	return f, ok
+}
+
+// List returns files sorted by path.
+func (fs *Filesystem) List() []File {
+	out := make([]File, 0, len(fs.files))
+	for _, f := range fs.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Purge removes scratch files older than PurgeAge, returning what was
+// purged. Persistent filesystems never purge.
+func (fs *Filesystem) Purge(now sim.Time) []File {
+	if fs.Kind != Scratch {
+		return nil
+	}
+	var purged []File
+	for path, f := range fs.files {
+		if (now - f.Modified).Duration() >= fs.PurgeAge {
+			purged = append(purged, f)
+			delete(fs.files, path)
+		}
+	}
+	sort.Slice(purged, func(i, j int) bool { return purged[i].Path < purged[j].Path })
+	return purged
+}
+
+// SchedulePurges installs a periodic purge on the engine for scratch
+// filesystems (the nightly cron every center runs), until horizon.
+func (fs *Filesystem) SchedulePurges(eng *sim.Engine, interval time.Duration, horizon sim.Time, onPurge func([]File)) {
+	if fs.Kind != Scratch {
+		return
+	}
+	var sweep func(*sim.Engine)
+	sweep = func(e *sim.Engine) {
+		purged := fs.Purge(e.Now())
+		if onPurge != nil && len(purged) > 0 {
+			onPurge(purged)
+		}
+		if e.Now()+sim.Time(interval) <= horizon {
+			e.After(interval, "scratch-purge", sweep)
+		}
+	}
+	eng.After(interval, "scratch-purge", sweep)
+}
+
+// Report renders a df/quota-style summary.
+func (fs *Filesystem) Report() string {
+	used := fs.UsedBytes()
+	pct := 0.0
+	if fs.CapacityBytes() > 0 {
+		pct = 100 * float64(used) / float64(fs.CapacityBytes())
+	}
+	out := fmt.Sprintf("%s on %s (%s): %.1f/%d GB used (%.1f%%)\n",
+		fs.Name, fs.Mount, fs.Kind, float64(used)/1e9, fs.CapacityGB, pct)
+	users := make(map[string]int64)
+	for _, f := range fs.files {
+		users[f.Owner] += f.Bytes
+	}
+	names := make([]string, 0, len(users))
+	for u := range users {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	for _, u := range names {
+		quota := "no quota"
+		if limit, ok := fs.quotas[u]; ok {
+			quota = fmt.Sprintf("quota %.1f GB", float64(limit)/1e9)
+		}
+		out += fmt.Sprintf("  %-12s %8.1f GB (%s)\n", u, float64(users[u])/1e9, quota)
+	}
+	return out
+}

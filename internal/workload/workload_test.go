@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/sched"
+	"xcbc/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Seed: 7, Jobs: 20})
+	b := Generate(Spec{Seed: 7, Jobs: 20})
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Job.Cores != b[i].Job.Cores ||
+			a[i].Job.Runtime != b[i].Job.Runtime || a[i].Job.User != b[i].Job.User {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(Spec{Seed: 8, Jobs: 20})
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	spec := Spec{
+		Seed: 3, Jobs: 200, CoresMin: 2, CoresMax: 6,
+		RuntimeMin: time.Minute, RuntimeMax: 10 * time.Minute,
+		WalltimePad: 1.5,
+	}
+	var prev sim.Time
+	for _, tj := range Generate(spec) {
+		if tj.Job.Cores < 2 || tj.Job.Cores > 6 {
+			t.Fatalf("cores %d out of bounds", tj.Job.Cores)
+		}
+		if tj.Job.Runtime < time.Minute || tj.Job.Runtime > 10*time.Minute {
+			t.Fatalf("runtime %v out of bounds", tj.Job.Runtime)
+		}
+		if tj.Job.Walltime != time.Duration(1.5*float64(tj.Job.Runtime)) {
+			t.Fatalf("walltime pad wrong: %v vs %v", tj.Job.Walltime, tj.Job.Runtime)
+		}
+		if tj.At < prev {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		prev = tj.At
+	}
+}
+
+func TestReplayAndCollect(t *testing.T) {
+	c := cluster.NewLittleFe()
+	c.PowerOnAll()
+	eng := sim.NewEngine()
+	m := sched.NewManager(eng, c, sched.TorqueMaui{})
+	stream := Generate(Spec{Seed: 42, Jobs: 30, CoresMax: 20}) // some oversized: clamped
+	Replay(eng, m, stream)
+	eng.Run()
+	st := Collect(m)
+	if st.Jobs != 30 {
+		t.Fatalf("jobs = %d", st.Jobs)
+	}
+	if st.Completed != 30 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	if st.Makespan <= 0 || st.MeanTurnaround <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P95Wait < st.MeanWait/4 {
+		t.Fatalf("p95 (%v) implausibly below mean (%v)", st.P95Wait, st.MeanWait)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization = %v", st.Utilization)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	c := cluster.NewLittleFe()
+	c.PowerOnAll()
+	eng := sim.NewEngine()
+	m := sched.NewManager(eng, c, sched.TorqueMaui{})
+	st := Collect(m)
+	if st.Jobs != 0 || st.MeanWait != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestBackfillReducesWait(t *testing.T) {
+	// The Maui ablation at workload level: same stream, backfill on vs off.
+	run := func(p sched.Policy) Stats {
+		c := cluster.NewLittleFe()
+		c.PowerOnAll()
+		eng := sim.NewEngine()
+		m := sched.NewManager(eng, c, p)
+		Replay(eng, m, Generate(Spec{Seed: 11, Jobs: 60, CoresMax: 10,
+			MeanInterarrival: 2 * time.Minute}))
+		eng.Run()
+		return Collect(m)
+	}
+	withBF := run(sched.TorqueMaui{})
+	withoutBF := run(sched.PlainFIFO{})
+	if withBF.MeanWait > withoutBF.MeanWait {
+		t.Fatalf("backfill should not increase mean wait: %v vs %v",
+			withBF.MeanWait, withoutBF.MeanWait)
+	}
+	if withBF.Makespan > withoutBF.Makespan {
+		t.Fatalf("backfill should not increase makespan: %v vs %v",
+			withBF.Makespan, withoutBF.Makespan)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	stream := Generate(Spec{Seed: 1})
+	if len(stream) != 50 {
+		t.Fatalf("default job count = %d", len(stream))
+	}
+	users := map[string]bool{}
+	for _, tj := range stream {
+		users[tj.Job.User] = true
+	}
+	if len(users) < 2 {
+		t.Fatal("default user mix should have several users")
+	}
+}
+
+func TestPlainFIFOPolicy(t *testing.T) {
+	p, ok := sched.PolicyByName("torque-nomau")
+	if !ok || p.Name() != "torque-nomau" || p.Backfill() {
+		t.Fatal("PlainFIFO registration")
+	}
+}

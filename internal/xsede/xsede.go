@@ -1,0 +1,229 @@
+// Package xsede defines the compatibility reference the paper builds
+// against: the software stack of a current XSEDE cluster (Stampede is the
+// paper's named exemplar of "current best practices"), the path layout XSEDE
+// clusters share, and a checker that scores how "XSEDE-compatible" a node
+// is — the property XCBC and XNIT exist to establish.
+package xsede
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xcbc/internal/rpm"
+)
+
+// Reference is the stack a compatible cluster must carry: package names with
+// minimum versions, directories that must exist, and commands users expect
+// to work identically everywhere.
+type Reference struct {
+	Name     string
+	Packages map[string]string // name -> minimum version (empty = any)
+	Dirs     []string          // path-layout conventions, e.g. /opt/apps
+	Commands map[string]string // command -> package that provides it
+}
+
+// StampedeReference returns the paper's reference point: the subset of the
+// Stampede software list that XCBC mirrors, with the XSEDE path layout and
+// the portable command set.
+func StampedeReference() *Reference {
+	return &Reference{
+		Name: "Stampede (XSEDE best practices)",
+		Packages: map[string]string{
+			"gcc":                   "4.4",
+			"openmpi":               "1.6",
+			"mpich2":                "1.9",
+			"fftw":                  "3.3",
+			"hdf5":                  "1.8",
+			"netcdf":                "4.1",
+			"python":                "2.6",
+			"numpy":                 "1.4",
+			"R":                     "3.0",
+			"gromacs":               "4.6",
+			"lammps":                "",
+			"ncbi-blast":            "2.2",
+			"papi":                  "5.1",
+			"boost":                 "1.41",
+			"environment-modules":   "3.2",
+			"torque":                "4.2",
+			"maui":                  "3.3",
+			"globus-connect-server": "",
+		},
+		Dirs: []string{"/opt/apps", "/opt/modulefiles", "/export"},
+		Commands: map[string]string{
+			"qsub":   "torque",
+			"qstat":  "torque",
+			"qdel":   "torque",
+			"mpirun": "openmpi",
+			"module": "environment-modules",
+			"gcc":    "gcc",
+			"R":      "R",
+			"python": "python",
+		},
+	}
+}
+
+// WithScheduler returns a copy of the reference with the job-management
+// packages and commands rewritten for the chosen scheduler (Table 1's
+// "Torque, SLURM, sge — choose one"). The default reference assumes Torque.
+func (r *Reference) WithScheduler(sched string) (*Reference, error) {
+	out := &Reference{Name: r.Name, Packages: map[string]string{}, Commands: map[string]string{}}
+	out.Dirs = append([]string(nil), r.Dirs...)
+	for k, v := range r.Packages {
+		if k == "torque" || k == "maui" || k == "slurm" || k == "sge" {
+			continue
+		}
+		out.Packages[k] = v
+	}
+	for k, v := range r.Commands {
+		if v == "torque" || v == "slurm" || v == "sge" {
+			continue
+		}
+		out.Commands[k] = v
+	}
+	switch sched {
+	case "torque":
+		out.Packages["torque"] = "4.2"
+		out.Packages["maui"] = "3.3"
+		out.Commands["qsub"] = "torque"
+		out.Commands["qstat"] = "torque"
+		out.Commands["qdel"] = "torque"
+	case "slurm":
+		out.Packages["slurm"] = "14.03"
+		out.Commands["sbatch"] = "slurm"
+		out.Commands["squeue"] = "slurm"
+		out.Commands["scancel"] = "slurm"
+	case "sge":
+		out.Packages["sge"] = "8.1"
+		out.Commands["qsub"] = "sge"
+		out.Commands["qstat"] = "sge"
+		out.Commands["qdel"] = "sge"
+	default:
+		return nil, fmt.Errorf("xsede: unknown scheduler %q", sched)
+	}
+	return out, nil
+}
+
+// Check is one compatibility finding.
+type Check struct {
+	Kind   string // "package", "version", "dir", "command"
+	Detail string
+	OK     bool
+}
+
+// Report is the outcome of checking a node against a reference.
+type Report struct {
+	Reference string
+	Checks    []Check
+}
+
+// Passed returns the number of successful checks.
+func (r *Report) Passed() int {
+	n := 0
+	for _, c := range r.Checks {
+		if c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the number of checks performed.
+func (r *Report) Total() int { return len(r.Checks) }
+
+// Score returns the fraction of checks passed in [0,1].
+func (r *Report) Score() float64 {
+	if len(r.Checks) == 0 {
+		return 0
+	}
+	return float64(r.Passed()) / float64(len(r.Checks))
+}
+
+// Compatible reports whether every check passed.
+func (r *Report) Compatible() bool { return r.Passed() == r.Total() }
+
+// Failures lists the failed checks.
+func (r *Report) Failures() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders the report for administrators.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "XSEDE compatibility vs %s: %d/%d checks passed (%.0f%%)\n",
+		r.Reference, r.Passed(), r.Total(), 100*r.Score())
+	for _, c := range r.Failures() {
+		fmt.Fprintf(&b, "  FAIL [%s] %s\n", c.Kind, c.Detail)
+	}
+	return b.String()
+}
+
+// NodeState is what the checker needs to know about a node; cluster nodes
+// and test doubles both satisfy it.
+type NodeState interface {
+	Packages() *rpm.DB
+	Attr(key string) (string, bool)
+}
+
+// CheckNode evaluates a node against the reference: package presence and
+// minimum versions, directory layout (recorded as "dir:<path>" attributes by
+// provisioning), and command availability via the owning packages.
+func CheckNode(ref *Reference, node NodeState) *Report {
+	rep := &Report{Reference: ref.Name}
+	db := node.Packages()
+
+	names := make([]string, 0, len(ref.Packages))
+	for name := range ref.Packages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		minVer := ref.Packages[name]
+		p := db.Newest(name)
+		if p == nil {
+			rep.Checks = append(rep.Checks, Check{Kind: "package", Detail: name + " not installed", OK: false})
+			continue
+		}
+		rep.Checks = append(rep.Checks, Check{Kind: "package", Detail: name + " installed", OK: true})
+		if minVer == "" {
+			continue
+		}
+		ok := p.EVR.Compare(rpm.EVR{Version: minVer}) >= 0
+		detail := fmt.Sprintf("%s %s >= %s", name, p.EVR, minVer)
+		if !ok {
+			detail = fmt.Sprintf("%s %s is older than required %s", name, p.EVR, minVer)
+		}
+		rep.Checks = append(rep.Checks, Check{Kind: "version", Detail: detail, OK: ok})
+	}
+
+	for _, dir := range ref.Dirs {
+		_, ok := node.Attr("dir:" + dir)
+		detail := dir + " present"
+		if !ok {
+			detail = dir + " missing"
+		}
+		rep.Checks = append(rep.Checks, Check{Kind: "dir", Detail: detail, OK: ok})
+	}
+
+	cmds := make([]string, 0, len(ref.Commands))
+	for c := range ref.Commands {
+		cmds = append(cmds, c)
+	}
+	sort.Strings(cmds)
+	for _, cmd := range cmds {
+		owner := ref.Commands[cmd]
+		ok := db.Has(owner)
+		detail := fmt.Sprintf("command %q (from %s) available", cmd, owner)
+		if !ok {
+			detail = fmt.Sprintf("command %q missing (package %s not installed)", cmd, owner)
+		}
+		rep.Checks = append(rep.Checks, Check{Kind: "command", Detail: detail, OK: ok})
+	}
+	return rep
+}

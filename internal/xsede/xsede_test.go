@@ -1,0 +1,151 @@
+package xsede
+
+import (
+	"strings"
+	"testing"
+
+	"xcbc/internal/rpm"
+)
+
+// fakeNode satisfies NodeState for isolated checker tests.
+type fakeNode struct {
+	db    *rpm.DB
+	attrs map[string]string
+}
+
+func newFakeNode() *fakeNode {
+	return &fakeNode{db: rpm.NewDB(), attrs: map[string]string{}}
+}
+
+func (f *fakeNode) Packages() *rpm.DB { return f.db }
+func (f *fakeNode) Attr(key string) (string, bool) {
+	v, ok := f.attrs[key]
+	return v, ok
+}
+
+func (f *fakeNode) install(t *testing.T, name, evr string) {
+	t.Helper()
+	var tx rpm.Transaction
+	tx.Install(rpm.NewPackage(name, evr, rpm.ArchX86_64).Build())
+	if err := tx.Run(f.db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckNodeEmpty(t *testing.T) {
+	ref := StampedeReference()
+	rep := CheckNode(ref, newFakeNode())
+	if rep.Compatible() {
+		t.Fatal("empty node cannot be compatible")
+	}
+	if rep.Score() != 0 {
+		t.Fatalf("score = %v (version checks should not run for missing packages)", rep.Score())
+	}
+	if rep.Passed() != 0 || rep.Total() == 0 {
+		t.Fatalf("passed/total = %d/%d", rep.Passed(), rep.Total())
+	}
+	if !strings.Contains(rep.Summary(), "FAIL") {
+		t.Error("summary should list failures")
+	}
+}
+
+func TestCheckNodeVersionEnforcement(t *testing.T) {
+	ref := &Reference{
+		Name:     "mini",
+		Packages: map[string]string{"gcc": "4.4", "openmpi": "1.6"},
+	}
+	n := newFakeNode()
+	n.install(t, "gcc", "4.4.7-11.el6")
+	n.install(t, "openmpi", "1.5.4-1.el6") // too old
+	rep := CheckNode(ref, n)
+	if rep.Compatible() {
+		t.Fatal("old openmpi should fail")
+	}
+	var sawVersionFail bool
+	for _, c := range rep.Failures() {
+		if c.Kind == "version" && strings.Contains(c.Detail, "openmpi") {
+			sawVersionFail = true
+		}
+	}
+	if !sawVersionFail {
+		t.Fatalf("failures = %v", rep.Failures())
+	}
+	// 2 package-present checks + 1 version pass out of 4 checks.
+	if rep.Passed() != 3 || rep.Total() != 4 {
+		t.Fatalf("passed/total = %d/%d", rep.Passed(), rep.Total())
+	}
+}
+
+func TestCheckNodeDirsAndCommands(t *testing.T) {
+	ref := &Reference{
+		Name:     "mini",
+		Dirs:     []string{"/opt/apps"},
+		Commands: map[string]string{"qsub": "torque"},
+	}
+	n := newFakeNode()
+	rep := CheckNode(ref, n)
+	if rep.Passed() != 0 {
+		t.Fatal("missing dir and command should fail")
+	}
+	n.attrs["dir:/opt/apps"] = "present"
+	n.install(t, "torque", "4.2.10-1.el6")
+	rep = CheckNode(ref, n)
+	if !rep.Compatible() {
+		t.Fatalf("should pass now: %s", rep.Summary())
+	}
+}
+
+func TestStampedeReferenceShape(t *testing.T) {
+	ref := StampedeReference()
+	if len(ref.Packages) < 15 {
+		t.Errorf("reference packages = %d", len(ref.Packages))
+	}
+	if _, ok := ref.Packages["torque"]; !ok {
+		t.Error("default reference should require torque")
+	}
+	if ref.Commands["qsub"] != "torque" {
+		t.Error("qsub should come from torque")
+	}
+}
+
+func TestWithScheduler(t *testing.T) {
+	ref := StampedeReference()
+	slurm, err := ref.WithScheduler("slurm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := slurm.Packages["torque"]; ok {
+		t.Error("slurm reference must not require torque")
+	}
+	if _, ok := slurm.Packages["maui"]; ok {
+		t.Error("slurm reference must not require maui")
+	}
+	if slurm.Commands["sbatch"] != "slurm" {
+		t.Error("sbatch missing")
+	}
+	if _, ok := slurm.Commands["qsub"]; ok {
+		t.Error("qsub should be dropped for slurm")
+	}
+	// Non-scheduler entries survive.
+	if slurm.Packages["gcc"] != "4.4" || slurm.Commands["module"] != "environment-modules" {
+		t.Error("non-scheduler entries lost")
+	}
+
+	sge, err := ref.WithScheduler("sge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sge.Commands["qsub"] != "sge" {
+		t.Error("sge qsub")
+	}
+	torque, err := ref.WithScheduler("torque")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torque.Packages["maui"] != "3.3" {
+		t.Error("torque reference should keep maui")
+	}
+	if _, err := ref.WithScheduler("cron"); err == nil {
+		t.Fatal("unknown scheduler should fail")
+	}
+}
