@@ -9,49 +9,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/power"
 	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
-	clusterName := flag.String("cluster", "littlefe", "cluster: littlefe or marshall (XCBC path)")
+	clusterName := flag.String("cluster", "littlefe", "cluster: littlefe, marshall, or howard (XCBC path)")
 	scheduler := flag.String("scheduler", "torque", "torque, slurm, or sge")
 	powerPolicy := flag.String("power", "always-on", "always-on, on-demand, or scheduled")
 	flag.Parse()
 
-	builders := map[string]func() *cluster.Cluster{
-		"littlefe": cluster.NewLittleFe,
-		"marshall": cluster.NewMarshall,
-		"howard":   cluster.NewHoward,
-	}
-	build, ok := builders[*clusterName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clusterctl: unknown cluster %q\n", *clusterName)
-		os.Exit(2)
-	}
-	policies := map[string]power.Policy{
-		"always-on": power.AlwaysOn, "on-demand": power.OnDemand, "scheduled": power.Scheduled,
-	}
-	policy, ok := policies[*powerPolicy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "clusterctl: unknown power policy %q\n", *powerPolicy)
-		os.Exit(2)
-	}
-
-	eng := sim.NewEngine()
-	d, err := core.BuildXCBC(eng, build(), core.Options{Scheduler: *scheduler, PowerPolicy: policy})
+	d, err := xcbc.NewXCBC(
+		xcbc.WithCluster(*clusterName),
+		xcbc.WithScheduler(*scheduler),
+		xcbc.WithPowerPolicy(xcbc.PowerPolicy(*powerPolicy)),
+	).Deploy(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clusterctl:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("built %s with %s in %v (simulated)\n\n", d.Cluster.Name, *scheduler, d.InstallDuration)
+	eng := d.Engine()
+	fmt.Printf("built %s with %s in %v (simulated)\n\n", d.Hardware().Name, *scheduler, d.InstallDuration())
 
 	// Replay a small workload with the user-facing commands.
 	var cmds []string
@@ -84,12 +68,12 @@ func main() {
 	fmt.Printf("$ %s\n%s\n", status, out)
 
 	// Monitor while the workload runs.
-	d.Monitor.Start(eng, time.Minute, 30)
+	d.Monitor().Start(eng, time.Minute, 30)
 	eng.RunUntil(eng.Now() + sim.Time(30*time.Minute))
-	fmt.Print(d.Monitor.Report())
+	fmt.Print(d.Monitor().Report())
 
 	eng.Run()
-	total := d.Power.Finalize()
+	total := d.PowerManager().Finalize()
 	fmt.Printf("\nworkload complete at %v; %d jobs finished; energy %.1f Wh (policy %s)\n",
-		eng.Now(), len(d.Batch.History()), total, *powerPolicy)
+		eng.Now(), len(d.Batch().History()), total, *powerPolicy)
 }

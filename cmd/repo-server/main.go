@@ -1,39 +1,62 @@
-// Command repo-server serves the XNIT repository over HTTP the way the
-// XSEDE Campus Bridging team served cb-repo.iu.xsede.org: a README with the
-// yum configuration stanza at /, metadata at /{repo}/repodata/repomd.json,
-// and package records under /{repo}/packages/.
+// Command repo-server is the toolkit's HTTP control plane: the versioned
+// JSON REST API (/api/v1/...) for repositories, dependency resolution, and
+// deployments, plus the legacy Yum routes the XSEDE Campus Bridging team
+// served at cb-repo.iu.xsede.org (README at /, metadata at
+// /{repo}/repodata/repomd.json, package records under /{repo}/packages/).
+//
+// The server logs every request, carries read/write timeouts, and shuts
+// down gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	repo-server -addr :8080
+//	curl localhost:8080/api/v1/repos
+//	curl localhost:8080/api/v1/repos/xsede/packages?name=gcc
+//	curl -d '{"install":["gromacs"]}' localhost:8080/api/v1/depsolve
+//	curl -d '{"cluster":"littlefe","scheduler":"torque"}' localhost:8080/api/v1/deployments
 //	curl localhost:8080/                       # readme.xsederepo
 //	curl localhost:8080/xsede/repodata/repomd.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"xcbc/internal/core"
 	"xcbc/internal/repo"
+	"xcbc/pkg/xcbc"
+	"xcbc/pkg/xcbc/api"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	quiet := flag.Bool("quiet", false, "disable request logging")
 	flag.Parse()
 
-	xnit, err := core.NewXNITRepository()
+	xnit, err := xcbc.NewXNITRepository()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repo-server:", err)
 		os.Exit(1)
 	}
-	srv := repo.NewServer(nil, xnit)
-	fmt.Printf("serving XSEDE Yum repository (%d packages) on %s\n", xnit.Len(), *addr)
-	fmt.Println("routes: /  /xsede/repodata/repomd.json  /xsede/packages/{nevra}.rpm")
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "repo-server: ", log.LstdFlags)
+	}
+	srv := api.New(api.Config{Repos: []*repo.Repository{xnit}, Logger: logger})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("serving XSEDE repository (%d packages) and API %s on %s\n",
+		xnit.Len(), api.Version, *addr)
+	fmt.Println("routes: /api/v1/{healthz,repos,depsolve,deployments}  /  /xsede/repodata/repomd.json")
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "repo-server:", err)
 		os.Exit(1)
 	}
+	fmt.Println("repo-server: shut down cleanly")
 }

@@ -25,16 +25,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
 	"xcbc/internal/rocks"
-	"xcbc/internal/sim"
 	"xcbc/internal/verify"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
@@ -43,24 +42,16 @@ func main() {
 	script := flag.String("script", "list host", "semicolon-separated admin commands")
 	flag.Parse()
 
-	builders := map[string]func() *cluster.Cluster{
-		"littlefe": cluster.NewLittleFe,
-		"marshall": cluster.NewMarshall,
-		"howard":   cluster.NewHoward,
-	}
-	build, ok := builders[*clusterName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "rocks: unknown cluster %q\n", *clusterName)
-		os.Exit(2)
-	}
-	eng := sim.NewEngine()
-	d, err := core.BuildXCBC(eng, build(), core.Options{Scheduler: *scheduler})
+	d, err := xcbc.NewXCBC(
+		xcbc.WithCluster(*clusterName),
+		xcbc.WithScheduler(*scheduler),
+	).Deploy(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocks:", err)
 		os.Exit(1)
 	}
 	users := rocks.New411()
-	fmt.Printf("# %s built (%s); executing script\n", d.Cluster.Name, *scheduler)
+	fmt.Printf("# %s built (%s); executing script\n", d.Hardware().Name, *scheduler)
 
 	for _, raw := range strings.Split(*script, ";") {
 		cmd := strings.TrimSpace(raw)
@@ -73,16 +64,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	eng.Run()
+	d.Engine().Run()
 }
 
-func execute(d *core.Deployment, users *rocks.Service411, cmd string) error {
+func execute(d *xcbc.Deployment, users *rocks.Service411, cmd string) error {
 	f := strings.Fields(cmd)
 	switch {
 	case len(f) == 2 && f[0] == "list" && f[1] == "host":
-		fmt.Print(d.Installer.DB.ListHostReport())
+		fmt.Print(d.Installer().DB.ListHostReport())
 	case len(f) == 2 && f[0] == "list" && f[1] == "roll":
-		for _, name := range d.Installer.DB.Distribution().RollNames() {
+		for _, name := range d.Installer().DB.Distribution().RollNames() {
 			fmt.Println(name)
 		}
 	case len(f) == 4 && f[0] == "add" && f[1] == "user":
@@ -93,7 +84,7 @@ func execute(d *core.Deployment, users *rocks.Service411, cmd string) error {
 		fmt.Printf("created %s (uid %d, home %s)\n", u.Name, u.UID, u.Home)
 	case len(f) == 2 && f[0] == "sync" && f[1] == "411":
 		var names []string
-		for _, n := range d.Cluster.Computes {
+		for _, n := range d.Hardware().Computes {
 			names = append(names, n.Name)
 		}
 		for _, n := range names {
@@ -105,38 +96,38 @@ func execute(d *core.Deployment, users *rocks.Service411, cmd string) error {
 		fmt.Printf("411 generation %d pushed to %d nodes (stale now: %d)\n",
 			users.Generation(), len(names), len(users.StaleNodes(names)))
 	case len(f) == 4 && f[0] == "set" && f[1] == "attr":
-		d.Installer.DB.SetGlobalAttr(f[2], f[3])
+		d.Installer().DB.SetGlobalAttr(f[2], f[3])
 		fmt.Printf("attr %s = %s\n", f[2], f[3])
 	case len(f) == 2 && f[0] == "drain":
-		if err := d.Batch.Drain(f[1]); err != nil {
+		if err := d.Batch().Drain(f[1]); err != nil {
 			return err
 		}
 		fmt.Printf("%s drained\n", f[1])
 	case len(f) == 2 && f[0] == "undrain":
-		if err := d.Batch.Undrain(f[1]); err != nil {
+		if err := d.Batch().Undrain(f[1]); err != nil {
 			return err
 		}
 		fmt.Printf("%s back in service\n", f[1])
 	case len(f) == 2 && f[0] == "reinstall":
-		r, err := d.Installer.Reinstall(d.Engine, f[1])
+		r, err := d.Installer().Reinstall(d.Engine(), f[1])
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%s reinstalled: %d packages in %v\n", r.Node, r.Packages, r.Duration)
 	case len(f) == 2 && f[0] == "fail":
-		if err := d.Batch.NodeFail(f[1]); err != nil {
+		if err := d.Batch().NodeFail(f[1]); err != nil {
 			return err
 		}
-		fmt.Printf("%s failed; %d job(s) requeued\n", f[1], d.Batch.RequeuedCount())
+		fmt.Printf("%s failed; %d job(s) requeued\n", f[1], d.Batch().RequeuedCount())
 	case len(f) == 2 && f[0] == "repair":
-		if err := d.Batch.NodeRepair(f[1]); err != nil {
+		if err := d.Batch().NodeRepair(f[1]); err != nil {
 			return err
 		}
 		fmt.Printf("%s repaired\n", f[1])
 	case len(f) == 1 && f[0] == "verify":
 		svc := []string{"gmond"}
 		feSvc := []string{"gmetad"}
-		switch d.Scheduler {
+		switch d.Scheduler() {
 		case "torque":
 			svc = append(svc, "pbs_mom")
 			feSvc = append(feSvc, "pbs_server", "maui")
@@ -147,13 +138,13 @@ func execute(d *core.Deployment, users *rocks.Service411, cmd string) error {
 			svc = append(svc, "sge_execd")
 			feSvc = append(feSvc, "sge_qmaster")
 		}
-		chk := &verify.Checker{Cluster: d.Cluster, DB: d.Installer.DB,
+		chk := &verify.Checker{Cluster: d.Hardware(), DB: d.Installer().DB,
 			ComputeServices: svc, FrontendServices: feSvc}
 		fmt.Print(chk.Run().Summary())
 	case len(f) == 1 && f[0] == "report":
-		d.Monitor.Poll(d.Engine.Now())
-		fmt.Print(d.Monitor.Report())
-		fmt.Print(d.Batch.AccountingReport())
+		d.Monitor().Poll(d.Engine().Now())
+		fmt.Print(d.Monitor().Report())
+		fmt.Print(d.Batch().AccountingReport())
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

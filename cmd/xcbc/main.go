@@ -10,69 +10,69 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
-var clusterBuilders = map[string]func() *cluster.Cluster{
-	"littlefe":          cluster.NewLittleFe,
-	"littlefe-original": cluster.NewLittleFeOriginal,
-	"limulus":           cluster.NewLimulusHPC200,
-	"marshall":          cluster.NewMarshall,
-	"montana":           cluster.NewMontanaState,
-	"kansas":            cluster.NewKansas,
-	"pbarc":             cluster.NewPBARC,
-	"howard":            cluster.NewHoward,
-}
-
 func main() {
-	clusterName := flag.String("cluster", "littlefe", "cluster to build: littlefe, littlefe-original, limulus, marshall, montana, kansas, pbarc, howard")
+	clusterName := flag.String("cluster", "littlefe",
+		"cluster to build: "+strings.Join(xcbc.Clusters(), ", "))
 	scheduler := flag.String("scheduler", "torque", "job manager: torque, slurm, or sge (Table 1: choose one)")
 	rolls := flag.String("rolls", "ganglia,hpc", "comma-separated optional rolls from Table 1")
+	nodes := flag.Int("nodes", 0, "override the compute node count (0 = as cataloged)")
+	progress := flag.Bool("progress", false, "print each build step as it happens")
 	verbose := flag.Bool("v", false, "print the installer log")
 	flag.Parse()
 
-	build, ok := clusterBuilders[*clusterName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "xcbc: unknown cluster %q\n", *clusterName)
-		os.Exit(2)
-	}
-	c := build()
-	eng := sim.NewEngine()
 	var optional []string
 	if *rolls != "" {
 		optional = strings.Split(*rolls, ",")
 	}
-	d, err := core.BuildXCBC(eng, c, core.Options{Scheduler: *scheduler, OptionalRolls: optional})
+	opts := []xcbc.Option{
+		xcbc.WithCluster(*clusterName),
+		xcbc.WithScheduler(*scheduler),
+		xcbc.WithRolls(optional...),
+	}
+	if *nodes > 0 {
+		opts = append(opts, xcbc.WithNodeCount(*nodes))
+	}
+	if *progress {
+		opts = append(opts, xcbc.WithProgress(func(ev xcbc.Event) {
+			fmt.Printf("  [%-12s] %s %s\n", ev.Stage, ev.Node, ev.Message)
+		}))
+	}
+
+	d, err := xcbc.NewXCBC(opts...).Deploy(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xcbc: build failed: %v\n", err)
 		fmt.Fprintln(os.Stderr, "hint: Rocks cannot install diskless nodes; the paper's modified")
 		fmt.Fprintln(os.Stderr, "LittleFe adds mSATA drives, and diskless machines (Limulus) take the XNIT path.")
 		os.Exit(1)
 	}
-	fmt.Printf("XCBC %s build complete on %s (%s)\n", core.XCBCVersion, c.Name, c.Site)
-	fmt.Printf("  scheduler:          %s\n", d.Scheduler)
+	c := d.Hardware()
+	fmt.Printf("XCBC %s build complete on %s (%s)\n", xcbc.XCBCVersion, c.Name, c.Site)
+	fmt.Printf("  scheduler:          %s\n", d.Scheduler())
 	fmt.Printf("  nodes installed:    %d\n", c.NodeCount())
-	fmt.Printf("  packages installed: %d (across all nodes)\n", d.PackagesInstalled)
-	fmt.Printf("  simulated duration: %v\n", d.InstallDuration)
+	fmt.Printf("  packages installed: %d (across all nodes)\n", d.PackagesInstalled())
+	fmt.Printf("  simulated duration: %v\n", d.InstallDuration())
 	fmt.Printf("  Rpeak:              %.1f GFLOPS\n", c.RpeakGFLOPS())
 	if *verbose {
 		fmt.Println("installer log:")
-		for _, line := range d.Installer.Log {
+		for _, line := range d.InstallLog() {
 			fmt.Println("  " + line)
 		}
 	}
-	rep, err := d.CompatReport()
+	rep, err := d.Compat()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xcbc:", err)
 		os.Exit(1)
 	}
-	fmt.Print(rep.Summary())
+	fmt.Print(rep.Text)
 	fmt.Println(cluster.RenderTopology(c))
 }

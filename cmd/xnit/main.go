@@ -10,19 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/depsolve"
-	"xcbc/internal/provision"
-	"xcbc/internal/rpm"
-	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
@@ -33,97 +28,61 @@ func main() {
 	flag.Parse()
 
 	if *listProfiles {
-		names := core.Profiles()
-		sort.Strings(names)
-		for _, p := range names {
+		for _, p := range xcbc.Profiles() {
 			fmt.Println(p)
 		}
 		return
 	}
 
-	builders := map[string]func() *cluster.Cluster{
-		"limulus":  cluster.NewLimulusHPC200,
-		"littlefe": cluster.NewLittleFe,
-		"montana":  cluster.NewMontanaState,
-		"pbarc":    cluster.NewPBARC,
-	}
-	build, ok := builders[*clusterName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "xnit: unknown cluster %q\n", *clusterName)
-		os.Exit(2)
-	}
-	c := build()
-	eng := sim.NewEngine()
+	ctx := context.Background()
 
 	// The cluster arrives running its vendor stack.
-	base := []*rpm.Package{
-		rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("openssh-server", "5.3p1-94.el6", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("environment-modules", "3.2.10-2.el6", rpm.ArchX86_64).Build(),
-	}
-	if err := provision.VendorProvision(eng, c, "Scientific Linux 6.5", base); err != nil {
-		fmt.Fprintln(os.Stderr, "xnit:", err)
-		os.Exit(1)
-	}
-	d, err := core.NewVendorDeployment(eng, c, "", core.Options{})
+	d, err := xcbc.NewVendor(xcbc.WithCluster(*clusterName)).Deploy(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xnit:", err)
 		os.Exit(1)
 	}
-	before, _ := d.CompatReport()
+	before, _ := d.Compat()
 	fmt.Printf("before XNIT: %d/%d compatibility checks pass (%.0f%%)\n",
-		before.Passed(), before.Total(), 100*before.Score())
+		before.Passed, before.Total, 100*before.Score)
 
-	xnitRepo, err := core.NewXNITRepository()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "xnit:", err)
-		os.Exit(1)
-	}
-	core.ConfigureXNIT(d, xnitRepo)
-	fmt.Printf("configured %s repository (priority %d, %d packages)\n",
-		core.XNITRepoID, core.XNITPriority, xnitRepo.Len())
-
-	installed := 0
+	var profiles []string
 	for _, p := range strings.Split(*profilesFlag, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
+		if p = strings.TrimSpace(p); p != "" {
+			profiles = append(profiles, p)
 		}
-		n, err := d.InstallProfile(p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xnit:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("installed profile %-12s (%d package installs cluster-wide)\n", p, n)
-		installed += n
+	}
+	opts := []xcbc.Option{
+		xcbc.WithProfiles(profiles...),
+		// Fill in anything the compatibility reference still wants.
+		xcbc.WithPackages("gcc", "openmpi", "mpich2", "fftw", "hdf5", "netcdf",
+			"python", "numpy", "R", "gromacs", "lammps", "ncbi-blast", "papi", "boost",
+			"globus-connect-server"),
+		xcbc.WithProgress(func(ev xcbc.Event) {
+			switch ev.Stage {
+			case "repo":
+				fmt.Printf("configured %s repository (priority %d, %d packages)\n",
+					xcbc.XNITRepoID, xcbc.XNITPriority, ev.Packages)
+			case "profile", "scheduler":
+				fmt.Printf("%s\n", ev.Message)
+			}
+		}),
 	}
 	if *scheduler != "" {
-		if err := d.ChangeScheduler(*scheduler); err != nil {
-			fmt.Fprintln(os.Stderr, "xnit:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("scheduler set to %s\n", *scheduler)
+		opts = append(opts, xcbc.WithScheduler(*scheduler))
 	}
-	// Fill in anything the compatibility reference still wants.
-	if _, err := d.InstallEverywhere("gcc", "openmpi", "mpich2", "fftw", "hdf5", "netcdf",
-		"python", "numpy", "R", "gromacs", "lammps", "ncbi-blast", "papi", "boost",
-		"globus-connect-server"); err != nil {
+	if _, err := xcbc.NewXNIT(d, opts...).Deploy(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "xnit:", err)
 		os.Exit(1)
 	}
 
-	after, _ := d.CompatReport()
+	after, _ := d.Compat()
 	fmt.Printf("after XNIT:  %d/%d compatibility checks pass (%.0f%%)\n",
-		after.Passed(), after.Total(), 100*after.Score())
-	fmt.Printf("total package installs: %d; simulated time consumed: %v\n",
-		installed, eng.Now().Duration())
+		after.Passed, after.Total, 100*after.Score)
+	fmt.Printf("simulated time consumed: %v\n", d.Engine().Now().Duration())
 
 	// The update-check workflow the paper recommends (notify, not auto).
-	notes := d.RunUpdateCheckEverywhere(depsolve.PolicyNotify, time.Now())
-	fmt.Printf("update check (policy notify) across %d nodes: ", len(notes))
-	pending := 0
-	for _, n := range notes {
-		pending += len(n.Pending)
-	}
-	fmt.Printf("%d updates pending review\n", pending)
+	chk := d.UpdateCheck(xcbc.UpdateNotify, time.Now())
+	fmt.Printf("update check (policy notify) across %d nodes: %d updates pending review\n",
+		len(chk.ByNode), chk.PendingTotal())
 }

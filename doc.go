@@ -6,8 +6,11 @@
 // every substrate they depend on, implemented in pure Go over a simulated
 // hardware layer.
 //
-// Start with internal/core (the contribution), DESIGN.md (system inventory
-// and experiment index), and EXPERIMENTS.md (paper-vs-measured for every
-// table and figure). The bench harness in bench_test.go regenerates each
+// Start with pkg/xcbc (the public SDK: both deployment paths behind one
+// Builder facade), pkg/xcbc/api (the versioned REST control plane),
+// DESIGN.md (layering, facade design, and API versioning policy), and
+// EXPERIMENTS.md (paper-vs-measured for every table and figure). The
+// contribution itself lives in internal/core; binaries reach it only
+// through pkg/xcbc. The bench harness in bench_test.go regenerates each
 // table and figure; cmd/tables prints them.
 package xcbc

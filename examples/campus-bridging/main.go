@@ -6,47 +6,57 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
 	"xcbc/internal/gridftp"
 	"xcbc/internal/hpl"
 	"xcbc/internal/sched"
 	"xcbc/internal/sim"
 	"xcbc/internal/verify"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
+	ctx := context.Background()
 	eng := sim.NewEngine()
 
-	// The campus end: an XCBC LittleFe.
-	campus, err := core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: "torque"})
+	// The campus end: an XCBC LittleFe. The national end: a
+	// Montana-State-class machine, also XCBC-built (Table 3 row 2), with
+	// the same scheduler and the same commands. One shared engine keeps
+	// the two ends on one simulated timeline.
+	campus, err := xcbc.NewXCBC(
+		xcbc.WithCluster("littlefe"),
+		xcbc.WithScheduler("torque"),
+		xcbc.WithEngine(eng),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The national end: a Montana-State-class machine, also XCBC-built
-	// (Table 3 row 2), with the same scheduler and the same commands.
-	national, err := core.BuildXCBC(eng, cluster.NewMontanaState(), core.Options{Scheduler: "torque"})
+	national, err := xcbc.NewXCBC(
+		xcbc.WithCluster("montana"),
+		xcbc.WithScheduler("torque"),
+		xcbc.WithEngine(eng),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("campus:   %s\n", campus.Cluster.Summary())
-	fmt.Printf("national: %s\n", national.Cluster.Summary())
+	fmt.Printf("campus:   %s\n", campus.Hardware().Summary())
+	fmt.Printf("national: %s\n", national.Hardware().Summary())
 
 	// Verify both before trusting them with work.
-	for _, d := range []*core.Deployment{campus, national} {
+	for _, d := range []*xcbc.Deployment{campus, national} {
 		chk := &verify.Checker{
-			Cluster:          d.Cluster,
-			DB:               d.Installer.DB,
+			Cluster:          d.Hardware(),
+			DB:               d.Installer().DB,
 			ComputeServices:  []string{"pbs_mom", "gmond"},
 			FrontendServices: []string{"pbs_server", "maui", "gmetad"},
 		}
 		rep := chk.Run()
 		fmt.Printf("verify %s: healthy=%v (%d findings)\n",
-			d.Cluster.Name, rep.Healthy(), len(rep.Findings))
+			d.Hardware().Name, rep.Healthy(), len(rep.Findings))
 	}
 
 	// Local run first: fits in 12 cores? Barely — the queue tells the story.
@@ -58,17 +68,17 @@ func main() {
 	fmt.Println(" (4 simulated hours on 10 cores)")
 
 	// Size the problem: the model says what each machine can deliver.
-	for _, d := range []*core.Deployment{campus, national} {
-		n := hpl.ProblemSize(d.Cluster, 0.8)
-		m := hpl.Model(d.Cluster, n, hpl.ModelParams{})
-		fmt.Printf("  %-24s Rmax ~ %7.1f GF\n", d.Cluster.Name, m.RmaxGF)
+	for _, d := range []*xcbc.Deployment{campus, national} {
+		n := hpl.ProblemSize(d.Hardware(), 0.8)
+		m := hpl.Model(d.Hardware(), n, hpl.ModelParams{})
+		fmt.Printf("  %-24s Rmax ~ %7.1f GF\n", d.Hardware().Name, m.RmaxGF)
 	}
 
 	// Stage input data to the national machine through GFFS. Both endpoints
 	// exist because both builds installed globus-connect-server + gffs.
 	svc := gridftp.NewService(eng)
-	campusEp := gridftp.NewEndpoint("littlefe#data", campus.Cluster.Site, 1)
-	nationalEp := gridftp.NewEndpoint("hyalite#scratch", national.Cluster.Site, 10)
+	campusEp := gridftp.NewEndpoint("littlefe#data", campus.Hardware().Site, 1)
+	nationalEp := gridftp.NewEndpoint("hyalite#scratch", national.Hardware().Site, 10)
 	ns := gridftp.NewNamespace()
 	ns.Mount("/xsede/iu/littlefe", campusEp)
 	ns.Mount("/xsede/msu/hyalite", nationalEp)
@@ -90,7 +100,7 @@ func main() {
 	}
 
 	// Run at scale with the *same* command vocabulary.
-	id, err := national.Batch.Submit(&sched.Job{
+	id, err := national.Batch().Submit(&sched.Job{
 		Name: "big-md-scaled", User: "researcher", Cores: 256,
 		Walltime: 6 * time.Hour, Runtime: 90 * time.Minute, Script: "md.sh",
 	})
@@ -98,7 +108,7 @@ func main() {
 		log.Fatal(err)
 	}
 	eng.Run()
-	j, _ := national.Batch.Job(id)
+	j, _ := national.Batch().Job(id)
 	fmt.Printf("\nnational run: job %d %s in %v on %d cores across %d nodes\n",
 		id, j.State, j.Turnaround(), j.Cores, len(j.Alloc))
 
@@ -112,5 +122,5 @@ func main() {
 	eng.Run()
 	fmt.Printf("results home: %.1f GB in %v (bottleneck: campus 1 Gbit uplink)\n",
 		float64(back.Bytes)/1e9, back.Duration().Round(time.Millisecond))
-	fmt.Printf("\naccounting on the national machine:\n%s", national.Batch.AccountingReport())
+	fmt.Printf("\naccounting on the national machine:\n%s", national.Batch().AccountingReport())
 }

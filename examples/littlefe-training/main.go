@@ -7,16 +7,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/power"
 	"xcbc/internal/provision"
 	"xcbc/internal/rocks"
 	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
 func lesson(n int, title string) {
@@ -24,14 +24,22 @@ func lesson(n int, title string) {
 }
 
 func main() {
+	ctx := context.Background()
+
 	lesson(1, "Know your hardware")
-	lf := cluster.NewLittleFe()
+	lf, err := xcbc.NewCluster("littlefe")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(cluster.RenderLittleFeFront(lf))
 	fmt.Println("Why the mSATA drives? Rocks does not support diskless installation;")
 	fmt.Println("the original Atom-based LittleFe cannot take the XCBC build at all:")
-	original := cluster.NewLittleFeOriginal()
+	original, err := xcbc.NewCluster("littlefe-original")
+	if err != nil {
+		log.Fatal(err)
+	}
 	eng0 := sim.NewEngine()
-	dist0, _ := core.BuildDistribution("torque")
+	dist0, _ := xcbc.BuildDistribution("torque")
 	g0 := rocks.DefaultGraph()
 	if err := rocks.AttachXSEDEFragments(g0, "torque"); err != nil {
 		log.Fatal(err)
@@ -49,7 +57,7 @@ func main() {
 
 	lesson(2, "Install the frontend from the XCBC media")
 	eng := sim.NewEngine()
-	dist, err := core.BuildDistribution("torque", "ganglia", "hpc")
+	dist, err := xcbc.BuildDistribution("torque", "ganglia", "hpc")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,19 +88,26 @@ func main() {
 	fmt.Print(feDB.ListHostReport())
 
 	lesson(4, "Run the cluster: jobs, monitoring, power")
-	d, err := core.NewVendorDeployment(eng, lf, "torque", core.Options{PowerPolicy: power.AlwaysOn})
+	// The hardware is already provisioned by hand (lessons 2-3); the SDK
+	// only assembles the running deployment around it.
+	d, err := xcbc.NewVendor(
+		xcbc.WithHardware(lf),
+		xcbc.WithEngine(eng),
+		xcbc.WithScheduler("torque"),
+		xcbc.WithPreProvisioned(),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d.Installer = ins
+	d.AttachInstaller(ins)
 	out, err := d.Exec("qsub -N first-job -l nodes=2:ppn=2,walltime=00:20:00 -u student job.sh")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("$ qsub ... -> %s\n", out)
-	d.Monitor.Start(eng, time.Minute, 10)
+	d.Monitor().Start(eng, time.Minute, 10)
 	eng.RunUntil(eng.Now() + sim.Time(10*time.Minute))
-	fmt.Print(d.Monitor.Report())
+	fmt.Print(d.Monitor().Report())
 
 	lesson(5, "Break a node, then repair it the Rocks way")
 	node, _ := lf.Lookup("compute-0-3")

@@ -4,31 +4,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
-	// 1. The hardware: six Celeron G1840 nodes with mSATA disks — the
-	// modification that makes Rocks provisioning possible.
-	littlefe := cluster.NewLittleFe()
-	fmt.Printf("hardware: %s\n", littlefe.Summary())
-
-	// 2. The XCBC build: Rocks base + XSEDE roll + ganglia/hpc rolls,
-	// Torque+Maui as the scheduler, all at once, from scratch.
-	eng := sim.NewEngine()
-	d, err := core.BuildXCBC(eng, littlefe, core.Options{Scheduler: "torque"})
+	// 1. The build: six Celeron G1840 nodes with mSATA disks (the
+	// modification that makes Rocks provisioning possible), Rocks base +
+	// XSEDE roll + ganglia/hpc rolls, Torque+Maui as the scheduler — all
+	// at once, from scratch, through the one public entry point.
+	d, err := xcbc.NewXCBC(
+		xcbc.WithCluster("littlefe"),
+		xcbc.WithScheduler("torque"),
+	).Deploy(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("hardware: %s\n", d.Hardware().Summary())
 	fmt.Printf("installed %d packages across %d nodes in %v (simulated)\n",
-		d.PackagesInstalled, littlefe.NodeCount(), d.InstallDuration)
+		d.PackagesInstalled(), d.Hardware().NodeCount(), d.InstallDuration())
 
-	// 3. Users interact exactly as they would on an XSEDE machine.
+	// 2. Users interact exactly as they would on an XSEDE machine.
 	out, err := d.Exec("qsub -N hello-mpi -l nodes=2:ppn=2,walltime=00:30:00 -u alice hello.sh")
 	if err != nil {
 		log.Fatal(err)
@@ -37,21 +36,21 @@ func main() {
 	status, _ := d.Exec("qstat")
 	fmt.Printf("$ qstat\n%s", status)
 
-	// 4. Software is exposed through environment modules, laid out the way
+	// 3. Software is exposed through environment modules, laid out the way
 	// XSEDE clusters lay it out.
-	sess := d.Modules.NewSession(map[string]string{"PATH": "/usr/bin:/bin"})
+	sess := d.Modules().NewSession(map[string]string{"PATH": "/usr/bin:/bin"})
 	if err := sess.Load("gromacs"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("$ module load gromacs && echo $PATH\n%s\n\n", sess.Env("PATH"))
 
-	// 5. Let the workload finish and confirm the cluster is XSEDE-compatible.
-	eng.Run()
-	j, _ := d.Batch.Job(1)
+	// 4. Let the workload finish and confirm the cluster is XSEDE-compatible.
+	d.Engine().Run()
+	j, _ := d.Batch().Job(1)
 	fmt.Printf("job 1 finished: state=%s turnaround=%v\n", j.State, j.Turnaround())
-	rep, err := d.CompatReport()
+	rep, err := d.Compat()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(rep.Summary())
+	fmt.Print(rep.Text)
 }

@@ -7,55 +7,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
 	"xcbc/internal/hpl"
 	"xcbc/internal/mpi"
-	"xcbc/internal/power"
-	"xcbc/internal/provision"
-	"xcbc/internal/rpm"
 	"xcbc/internal/sched"
 	"xcbc/internal/sim"
 	"xcbc/internal/storage"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
-	limulus := cluster.NewLimulusHPC200()
-	eng := sim.NewEngine()
-	base := []*rpm.Package{
-		rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("environment-modules", "3.2.10-2.el6", rpm.ArchX86_64).Build(),
-	}
-	if err := provision.VendorProvision(eng, limulus, "Scientific Linux 6.5", base); err != nil {
-		log.Fatal(err)
-	}
-	d, err := core.NewVendorDeployment(eng, limulus, "", core.Options{PowerPolicy: power.OnDemand})
+	ctx := context.Background()
+
+	// The deskside Limulus arrives vendor-managed; XNIT converts it in
+	// place: bio + compiler stacks, Torque+Maui, on-demand power.
+	vendor, err := xcbc.NewVendor(
+		xcbc.WithCluster("limulus"),
+		xcbc.WithPowerPolicy(xcbc.PowerOnDemand),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	xnit, err := core.NewXNITRepository()
+	d, err := xcbc.NewXNIT(vendor,
+		xcbc.WithProfiles("bio", "compilers"),
+		xcbc.WithScheduler("torque"),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	core.ConfigureXNIT(d, xnit)
-	if _, err := d.InstallProfile("bio"); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := d.InstallProfile("compilers"); err != nil {
-		log.Fatal(err)
-	}
-	if err := d.ChangeScheduler("torque"); err != nil {
-		log.Fatal(err)
-	}
+	eng := d.Engine()
+	limulus := d.Hardware()
 	fmt.Println("Limulus converted: bio + compiler stacks installed, Torque+Maui running,")
 	fmt.Println("on-demand power management active.")
 
 	// The scientist's environment: modules expose the tools.
-	sess := d.Modules.NewSession(map[string]string{"PATH": "/usr/bin:/bin"})
+	sess := d.Modules().NewSession(map[string]string{"PATH": "/usr/bin:/bin"})
 	for _, m := range []string{"bwa", "samtools", "picard-tools"} {
 		if err := sess.Load(m); err != nil {
 			log.Fatal(err)
@@ -75,7 +65,7 @@ func main() {
 		{"gatk-call", 12, 90},
 	}
 	for _, st := range stages {
-		id, err := d.Batch.Submit(&sched.Job{
+		id, err := d.Batch().Submit(&sched.Job{
 			Name: st.name, User: "researcher", Cores: st.cores,
 			Walltime: time.Duration(st.mins+15) * time.Minute,
 			Runtime:  time.Duration(st.mins) * time.Minute,
@@ -85,7 +75,7 @@ func main() {
 			log.Fatal(err)
 		}
 		eng.Run() // run to completion before staging the next
-		j, _ := d.Batch.Job(id)
+		j, _ := d.Batch().Job(id)
 		fmt.Printf("stage %-14s job %d: %-9s wait %-6v runtime %v\n",
 			st.name, id, j.State, j.WaitTime(), j.Turnaround()-j.WaitTime())
 	}
@@ -134,9 +124,9 @@ func main() {
 
 	// Power accounting for the working day.
 	eng.RunUntil(eng.Now() + sim.Time(4*time.Hour)) // idle afternoon
-	wh := d.Power.Finalize()
+	wh := d.PowerManager().Finalize()
 	fmt.Printf("\nenergy for the day: %.1f Wh (on-demand power management; idle nodes were powered off)\n", wh)
-	for _, ev := range d.Power.Events() {
+	for _, ev := range d.PowerManager().Events() {
 		fmt.Println("  " + ev)
 	}
 }

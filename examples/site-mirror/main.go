@@ -1,11 +1,13 @@
 // Site mirror: the update-management story of §3 at campus scale. A site
-// mirrors the XSEDE Yum repository locally, serves it over HTTP the way
-// cb-repo.iu.xsede.org was served, points its cluster at the mirror, and
-// runs the paper's recommended notify-before-apply update workflow when
-// upstream publishes new builds.
+// mirrors the XSEDE Yum repository locally, serves it through the
+// versioned control API (which preserves the Yum routes that served
+// cb-repo.iu.xsede.org), points its cluster at the mirror, and runs the
+// paper's recommended notify-before-apply update workflow when upstream
+// publishes new builds.
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -13,17 +15,17 @@ import (
 	"net/http"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/depsolve"
 	"xcbc/internal/repo"
 	"xcbc/internal/rpm"
-	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
+	"xcbc/pkg/xcbc/api"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Upstream: the XSEDE repository at IU.
-	upstream, err := core.NewXNITRepository()
+	upstream, err := xcbc.NewXNITRepository()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,38 +44,36 @@ func main() {
 	}
 	fmt.Println("mirror integrity: all checksums verified")
 
-	// Serve the mirror over HTTP and exercise the real client path.
+	// Serve the mirror through the control API and exercise both client
+	// paths: the versioned JSON API and the legacy Yum metadata route.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: repo.NewServer(nil, mirror.Local)}
+	apiSrv := api.New(api.Config{Repos: []*repo.Repository{mirror.Local}})
+	srv := &http.Server{Handler: apiSrv.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
 
-	res, err := http.Get(base + "/xsede-campus/repodata/repomd.json")
-	if err != nil {
-		log.Fatal(err)
-	}
-	body, err := io.ReadAll(res.Body)
-	res.Body.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	md, err := repo.DecodeMetadata(body)
+	repos := mustGet(base + "/api/v1/repos")
+	fmt.Printf("GET /api/v1/repos -> %s", repos)
+
+	md, err := repo.DecodeMetadata([]byte(mustGet(base + "/xsede-campus/repodata/repomd.json")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fetched metadata over HTTP: %d package records from %s\n", len(md.Packages), base)
 
 	// A cluster consumes the mirror.
-	eng := sim.NewEngine()
-	d, err := core.BuildXCBC(eng, cluster.NewLittleFe(), core.Options{Scheduler: "torque"})
+	d, err := xcbc.NewXCBC(
+		xcbc.WithCluster("littlefe"),
+		xcbc.WithScheduler("torque"),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d.Repos.Add(repo.Config{Repo: mirror.Local, Priority: core.XNITPriority, Enabled: true, GPGCheck: true})
+	d.Repos().Add(repo.Config{Repo: mirror.Local, Priority: xcbc.XNITPriority, Enabled: true, GPGCheck: true})
 
 	// Upstream publishes a security gcc and a feature R; the mirror follows.
 	err = upstream.Publish(
@@ -94,12 +94,27 @@ func main() {
 	fmt.Printf("upstream published updates; mirror sync: +%d -%d\n", added, removed)
 
 	// The paper's guidance: review first (notify), auto-apply only security.
-	when := time.Now()
-	notes := d.RunUpdateCheckEverywhere(depsolve.PolicySecurityOnly, when)
-	head := notes[d.Cluster.Frontend.Name]
-	fmt.Printf("\nfrontend update check under security-only policy:\n%s", head.Summary())
+	chk := d.UpdateCheck(xcbc.UpdateSecurityOnly, time.Now())
+	head := d.Hardware().Frontend
+	fmt.Printf("\nfrontend update check under security-only policy:\n%s", chk.ByNode[head.Name].Summary)
 	fmt.Printf("gcc on frontend is now %s (security auto-applied)\n",
-		d.Cluster.Frontend.Packages().Newest("gcc").EVR)
+		head.Packages().Newest("gcc").EVR)
 	fmt.Printf("R on frontend is still %s (feature update held for review)\n",
-		d.Cluster.Frontend.Packages().Newest("R").EVR)
+		head.Packages().Newest("R").EVR)
+}
+
+func mustGet(url string) string {
+	res, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %d %s", url, res.StatusCode, body)
+	}
+	return string(body)
 }

@@ -6,41 +6,37 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"xcbc/internal/cluster"
-	"xcbc/internal/core"
-	"xcbc/internal/depsolve"
-	"xcbc/internal/provision"
 	"xcbc/internal/repo"
 	"xcbc/internal/rpm"
-	"xcbc/internal/sim"
+	"xcbc/pkg/xcbc"
 )
 
 func main() {
-	limulus := cluster.NewLimulusHPC200()
-	eng := sim.NewEngine()
+	ctx := context.Background()
 
 	// The machine arrives with Scientific Linux and vendor tooling. Note the
 	// diskless compute blades: the XCBC/Rocks path is impossible here.
-	vendorPkgs := []*rpm.Package{
-		rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("openssh-server", "5.3p1-94.el6", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("environment-modules", "3.2.10-2.el6", rpm.ArchX86_64).Build(),
-		rpm.NewPackage("python", "2.6.6-52.el6.sl", rpm.ArchX86_64).Build(), // vendor build
-	}
-	if err := provision.VendorProvision(eng, limulus, "Scientific Linux 6.5", vendorPkgs); err != nil {
-		log.Fatal(err)
-	}
-	d, err := core.NewVendorDeployment(eng, limulus, "", core.Options{})
+	d, err := xcbc.NewVendor(
+		xcbc.WithCluster("limulus"),
+		xcbc.WithVendorOS("Scientific Linux 6.5"),
+		xcbc.WithBasePackages(
+			rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build(),
+			rpm.NewPackage("openssh-server", "5.3p1-94.el6", rpm.ArchX86_64).Build(),
+			rpm.NewPackage("environment-modules", "3.2.10-2.el6", rpm.ArchX86_64).Build(),
+			rpm.NewPackage("python", "2.6.6-52.el6.sl", rpm.ArchX86_64).Build(), // vendor build
+		),
+	).Deploy(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, _ := d.CompatReport()
+	before, _ := d.Compat()
 	fmt.Printf("out of the box: %d/%d compatibility checks (%.0f%%)\n",
-		before.Passed(), before.Total(), 100*before.Score())
+		before.Passed, before.Total, 100*before.Score)
 
 	// Configure repositories: the vendor repo at priority 10, XNIT at 50.
 	// yum-plugin-priorities guarantees XNIT never replaces vendor packages —
@@ -49,38 +45,34 @@ func main() {
 	if err := vendor.Publish(rpm.NewPackage("python", "2.6.6-52.el6.sl", rpm.ArchX86_64).Build()); err != nil {
 		log.Fatal(err)
 	}
-	d.Repos.Add(repo.Config{Repo: vendor, Priority: 10, Enabled: true})
-	xnit, err := core.NewXNITRepository()
-	if err != nil {
+	d.Repos().Add(repo.Config{Repo: vendor, Priority: 10, Enabled: true})
+
+	// Adopt: configure the XSEDE repo, install the scientific stack
+	// incrementally, and — "with XNIT add software, change the
+	// schedulers" — give it Torque+Maui.
+	if _, err := xcbc.NewXNIT(d,
+		xcbc.WithProfiles("compilers", "python", "statistics", "chemistry", "bio", "grid"),
+		xcbc.WithScheduler("torque"),
+		xcbc.WithPackages("gcc", "openmpi", "mpich2", "fftw", "hdf5", "netcdf",
+			"numpy", "R", "gromacs", "lammps", "ncbi-blast", "papi", "boost",
+			"globus-connect-server"),
+		xcbc.WithProgress(func(ev xcbc.Event) {
+			if ev.Stage == "profile" {
+				fmt.Printf("  %s (%d installs)\n", ev.Message, ev.Packages)
+			}
+		}),
+	).Deploy(ctx); err != nil {
 		log.Fatal(err)
 	}
-	core.ConfigureXNIT(d, xnit)
 
-	// Install the scientific stack incrementally.
-	for _, profile := range []string{"compilers", "python", "statistics", "chemistry", "bio", "grid"} {
-		n, err := d.InstallProfile(profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  profile %-11s -> %3d installs\n", profile, n)
-	}
 	// The vendor python must have survived priority shadowing.
-	py := limulus.Frontend.Packages().Newest("python")
+	py := d.Hardware().Frontend.Packages().Newest("python")
 	fmt.Printf("python after adoption: %s (vendor build preserved: %v)\n",
 		py.EVR, py.EVR.Release == "52.el6.sl")
 
-	// "With XNIT add software, change the schedulers": give it Torque+Maui.
-	if err := d.ChangeScheduler("torque"); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := d.InstallEverywhere("gcc", "openmpi", "mpich2", "fftw", "hdf5", "netcdf",
-		"numpy", "R", "gromacs", "lammps", "ncbi-blast", "papi", "boost",
-		"globus-connect-server"); err != nil {
-		log.Fatal(err)
-	}
-	after, _ := d.CompatReport()
+	after, _ := d.Compat()
 	fmt.Printf("after XNIT: %d/%d compatibility checks (%.0f%%)\n",
-		after.Passed(), after.Total(), 100*after.Score())
+		after.Passed, after.Total, 100*after.Score)
 
 	// Users now get the XSEDE experience on the deskside box.
 	out, err := d.Exec("qsub -N gromacs-md -l nodes=3:ppn=4,walltime=01:00:00 -u kai md.sh")
@@ -88,9 +80,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("$ qsub ... -> %s\n", out)
-	eng.Run()
+	d.Engine().Run()
 
 	// A month later, XNIT publishes updates. The prudent policy: notify.
+	xnit := d.Repo(xcbc.XNITRepoID)
 	if err := xnit.Publish(
 		rpm.NewPackage("openmpi", "1.6.5-1.el6", rpm.ArchX86_64).
 			Provides(rpm.Cap("mpi")).
@@ -102,6 +95,6 @@ func main() {
 	); err != nil {
 		log.Fatal(err)
 	}
-	notes := d.RunUpdateCheckEverywhere(depsolve.PolicyNotify, time.Date(2015, 4, 1, 6, 0, 0, 0, time.UTC))
-	fmt.Println(notes[limulus.Frontend.Name].Summary())
+	chk := d.UpdateCheck(xcbc.UpdateNotify, time.Date(2015, 4, 1, 6, 0, 0, 0, time.UTC))
+	fmt.Println(chk.ByNode[d.Hardware().Frontend.Name].Summary)
 }

@@ -1,0 +1,3 @@
+module xcbc
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,18 @@ import (
 	"xcbc/internal/xsede"
 )
 
+// BuildEvent is one step of a long-running build, reported through
+// Options.Progress. Stage is one of "distribution", "frontend", "compute",
+// "subsystems"; Node is set for per-node stages; Packages and Elapsed carry
+// the install cost where the stage has one (Elapsed is simulated time).
+type BuildEvent struct {
+	Stage    string
+	Node     string
+	Message  string
+	Packages int
+	Elapsed  time.Duration
+}
+
 // Options configure an XCBC build.
 type Options struct {
 	// Scheduler is one of Schedulers; default "torque".
@@ -27,6 +40,14 @@ type Options struct {
 	PowerPolicy power.Policy
 	// MonitorInterval is the gmetad poll period; default 1 minute.
 	MonitorInterval time.Duration
+	// Progress, when non-nil, receives a BuildEvent after each build step.
+	Progress func(BuildEvent)
+}
+
+func (o Options) emit(ev BuildEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
 }
 
 func (o *Options) withDefaults() Options {
@@ -66,6 +87,16 @@ type Deployment struct {
 // a bare cluster: distribution assembly, frontend install, compute
 // kickstarts, module generation, and subsystem startup.
 func BuildXCBC(eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, error) {
+	return BuildXCBCContext(context.Background(), eng, c, opts)
+}
+
+// BuildXCBCContext is BuildXCBC with cancellation: the context is checked
+// between node installs (a kickstart, once started, runs to completion, as
+// on real hardware). Progress events are emitted through Options.Progress.
+func BuildXCBCContext(ctx context.Context, eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -78,13 +109,11 @@ func BuildXCBC(eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, 
 	if err := rocks.AttachXSEDEFragments(graph, o.Scheduler); err != nil {
 		return nil, err
 	}
+	o.emit(BuildEvent{Stage: "distribution",
+		Message: fmt.Sprintf("assembled %s (%d rolls)", dist.Name, len(dist.RollNames()))})
 	feDB := rocks.NewFrontendDB(dist)
 	installer := provision.NewInstaller(c, feDB, graph, "CentOS "+CentOSVersion)
 	start := eng.Now()
-	results, err := installer.InstallAll(eng)
-	if err != nil {
-		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
-	}
 	d := &Deployment{
 		Cluster:   c,
 		Engine:    eng,
@@ -92,11 +121,33 @@ func BuildXCBC(eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, 
 		Repos:     repo.NewSet(),
 		Scheduler: o.Scheduler,
 	}
-	for _, r := range results {
+	feRes, err := installer.InstallFrontend(eng)
+	if err != nil {
+		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
+	}
+	d.PackagesInstalled += feRes.Packages
+	o.emit(BuildEvent{Stage: "frontend", Node: feRes.Node,
+		Packages: feRes.Packages, Elapsed: feRes.Duration,
+		Message: "frontend installed from distribution media"})
+	if err := installer.DiscoverComputes(); err != nil {
+		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
+	}
+	for _, n := range c.Computes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: XCBC build cancelled before %s: %w", n.Name, err)
+		}
+		r, err := installer.InstallCompute(eng, n.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: XCBC install failed: %w", err)
+		}
 		d.PackagesInstalled += r.Packages
+		o.emit(BuildEvent{Stage: "compute", Node: r.Node,
+			Packages: r.Packages, Elapsed: r.Duration, Message: "kickstarted"})
 	}
 	d.InstallDuration = (eng.Now() - start).Duration()
 	d.finishAssembly(o)
+	o.emit(BuildEvent{Stage: "subsystems",
+		Message: "batch, modules, monitoring, and power management started"})
 	return d, nil
 }
 

@@ -168,7 +168,10 @@ type Config struct {
 
 // Set is an ordered collection of repository configurations — the client's
 // complete yum.repos.d. Priority shadowing is applied across repositories.
+// It is safe for concurrent use: the control API mutates it (enable/disable,
+// add, remove) while depsolve requests read it.
 type Set struct {
+	mu      sync.RWMutex
 	configs []Config
 }
 
@@ -187,12 +190,16 @@ func (s *Set) Add(c Config) {
 	if c.Priority == 0 {
 		c.Priority = DefaultPriority
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.configs = append(s.configs, c)
 }
 
 // Remove drops the configuration for a repository ID, reporting whether it
 // was present.
 func (s *Set) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, c := range s.configs {
 		if c.Repo.ID == id {
 			s.configs = append(s.configs[:i:i], s.configs[i+1:]...)
@@ -204,6 +211,8 @@ func (s *Set) Remove(id string) bool {
 
 // Enable toggles a repository by ID, reporting whether it was found.
 func (s *Set) Enable(id string, enabled bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, c := range s.configs {
 		if c.Repo.ID == id {
 			s.configs[i].Enabled = enabled
@@ -213,9 +222,23 @@ func (s *Set) Enable(id string, enabled bool) bool {
 	return false
 }
 
+// Lookup returns the configured repository with the given ID, or nil.
+func (s *Set) Lookup(id string) *Repository {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, c := range s.configs {
+		if c.Repo.ID == id {
+			return c.Repo
+		}
+	}
+	return nil
+}
+
 // Enabled returns the enabled configurations sorted by priority (best first),
 // ties broken by configuration order.
 func (s *Set) Enabled() []Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Config
 	for _, c := range s.configs {
 		if c.Enabled {
@@ -227,7 +250,11 @@ func (s *Set) Enabled() []Config {
 }
 
 // Configs returns all configurations in insertion order.
-func (s *Set) Configs() []Config { return append([]Config(nil), s.configs...) }
+func (s *Set) Configs() []Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Config(nil), s.configs...)
+}
 
 // Candidates returns the available builds of a named package after priority
 // shadowing: if any higher-priority (lower number) enabled repository carries

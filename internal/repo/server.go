@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 )
@@ -18,21 +19,47 @@ import (
 //	GET /{repo}/repodata/repomd.json       — full metadata
 //	GET /{repo}/packages/{nevra}.rpm       — package record (the "download")
 type Server struct {
-	repos map[string]*Repository
-	clock func() time.Time
+	source func() []*Repository
+	clock  func() time.Time
 }
 
-// NewServer builds a server for the given repositories. clock may be nil, in
-// which case time.Now is used; tests inject a fixed clock.
+// NewServer builds a server for a fixed list of repositories. clock may be
+// nil, in which case time.Now is used; tests inject a fixed clock.
 func NewServer(clock func() time.Time, repos ...*Repository) *Server {
+	fixed := append([]*Repository(nil), repos...)
+	return newServer(clock, func() []*Repository { return fixed })
+}
+
+// NewSetServer builds a server over a live Set: repositories added to or
+// removed from the set while serving appear in (or vanish from) the routes
+// on the next request. All configured repositories are served; the set's
+// enabled flags describe clients, not the server.
+func NewSetServer(clock func() time.Time, set *Set) *Server {
+	return newServer(clock, func() []*Repository {
+		configs := set.Configs()
+		repos := make([]*Repository, 0, len(configs))
+		for _, c := range configs {
+			repos = append(repos, c.Repo)
+		}
+		return repos
+	})
+}
+
+func newServer(clock func() time.Time, source func() []*Repository) *Server {
 	if clock == nil {
 		clock = time.Now
 	}
-	s := &Server{repos: make(map[string]*Repository), clock: clock}
-	for _, r := range repos {
-		s.repos[r.ID] = r
+	return &Server{source: source, clock: clock}
+}
+
+// lookup returns the served repository with the given ID, or nil.
+func (s *Server) lookup(id string) *Repository {
+	for _, r := range s.source() {
+		if r.ID == id {
+			return r
+		}
 	}
-	return s
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -43,8 +70,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	parts := strings.Split(path, "/")
-	r, ok := s.repos[parts[0]]
-	if !ok {
+	r := s.lookup(parts[0])
+	if r == nil {
 		http.Error(w, "unknown repository", http.StatusNotFound)
 		return
 	}
@@ -93,19 +120,7 @@ func (s *Server) serveReadme(w http.ResponseWriter) {
 }
 
 func (s *Server) sortedRepos() []*Repository {
-	ids := make([]string, 0, len(s.repos))
-	for id := range s.repos {
-		ids = append(ids, id)
-	}
-	// Small n; simple insertion keeps output stable.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	out := make([]*Repository, len(ids))
-	for i, id := range ids {
-		out[i] = s.repos[id]
-	}
+	out := append([]*Repository(nil), s.source()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

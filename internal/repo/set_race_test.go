@@ -1,0 +1,63 @@
+package repo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xcbc/internal/rpm"
+)
+
+// TestSetConcurrentMutation hammers a Set from concurrent readers and
+// writers; run with -race. Every public method is exercised while
+// configurations are added, toggled, and removed.
+func TestSetConcurrentMutation(t *testing.T) {
+	base := New("base", "Base", "")
+	if err := base.Publish(rpm.NewPackage("gcc", "4.4.7-4.el6", rpm.ArchX86_64).Build()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet(Config{Repo: base, Priority: 10, Enabled: true})
+
+	var wg sync.WaitGroup
+	const iters = 500
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			id := fmt.Sprintf("extra-%d", i%8)
+			r := New(id, "Extra", "")
+			_ = r.Publish(rpm.NewPackage("filler", fmt.Sprintf("1.%d-1", i), rpm.ArchX86_64).Build())
+			s.Add(Config{Repo: r, Priority: 50 + i%5, Enabled: i%2 == 0})
+			s.Remove(id)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.Enable("base", i%2 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.Enabled()
+			s.Configs()
+			s.Lookup("base")
+			s.AllNames()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.Candidates("gcc")
+			s.Best("gcc")
+			s.BestProvider(rpm.Cap("gcc"))
+		}
+	}()
+	wg.Wait()
+
+	s.Enable("base", true)
+	if s.Best("gcc") == nil {
+		t.Error("base repo lost its package after concurrent churn")
+	}
+}

@@ -1,10 +1,15 @@
 package rocks
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrCycle is wrapped in errors returned when the kickstart include-graph
+// contains a cycle; callers can detect it with errors.Is.
+var ErrCycle = errors.New("rocks: kickstart graph cycle")
 
 // The kickstart graph is how Rocks composes a node's install: nodes in the
 // graph are configuration fragments ("graph nodes"), edges say which
@@ -60,7 +65,7 @@ func (g *Graph) Closure(root string) ([]*GraphNode, error) {
 	visit = func(name string, path []string) error {
 		switch state[name] {
 		case 1:
-			return fmt.Errorf("rocks: kickstart graph cycle: %s -> %s", strings.Join(path, " -> "), name)
+			return fmt.Errorf("%w: %s -> %s", ErrCycle, strings.Join(path, " -> "), name)
 		case 2:
 			return nil
 		}

@@ -1,0 +1,557 @@
+// Package api serves the xcbc SDK as a versioned JSON REST control plane
+// plus the legacy Yum-over-HTTP routes the XSEDE Campus Bridging team
+// served at cb-repo.iu.xsede.org.
+//
+// Versioned routes (see DESIGN.md for the versioning policy):
+//
+//	GET    /api/v1/healthz
+//	GET    /api/v1/repos
+//	GET    /api/v1/repos/{id}
+//	GET    /api/v1/repos/{id}/packages[?name=...]
+//	POST   /api/v1/depsolve
+//	GET    /api/v1/deployments
+//	POST   /api/v1/deployments
+//	GET    /api/v1/deployments/{id}
+//	DELETE /api/v1/deployments/{id}
+//
+// Legacy Yum routes, preserved verbatim:
+//
+//	GET /                                  — readme.xsederepo
+//	GET /{repo}/repodata/repomd.json       — repository metadata
+//	GET /{repo}/packages/{nevra}.rpm       — package record
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"xcbc/internal/depsolve"
+	"xcbc/internal/repo"
+	"xcbc/internal/rpm"
+	"xcbc/pkg/xcbc"
+)
+
+// Version is the current API version segment.
+const Version = "v1"
+
+// Config configures a Server.
+type Config struct {
+	// Repos are the repositories to serve, both through /api/v1 and the
+	// legacy Yum routes, all at the XNIT-recommended priority. For
+	// per-repository priorities (vendor below XNIT, as
+	// yum-plugin-priorities intends) use RepoConfigs instead.
+	Repos []*repo.Repository
+	// RepoConfigs are served with their configured priority and enabled
+	// flag, in addition to anything in Repos.
+	RepoConfigs []repo.Config
+	// Clock supplies metadata timestamps; nil means time.Now.
+	Clock func() time.Time
+	// Logger receives one line per request; nil disables request logging.
+	Logger *log.Logger
+}
+
+// Server is the HTTP control plane. Create with New, serve via Handler
+// (for tests and embedding) or ListenAndServe (timeouts + graceful
+// shutdown included).
+type Server struct {
+	set     *repo.Set
+	clock   func() time.Time
+	logger  *log.Logger
+	handler http.Handler
+
+	mu          sync.RWMutex
+	deployments map[string]*deployment
+	nextID      int
+}
+
+// deployment is one SDK deployment managed by the server.
+type deployment struct {
+	ID      string
+	Path    string // "xcbc" or "xnit"
+	Created time.Time
+	D       *xcbc.Deployment
+	Events  []xcbc.Event
+}
+
+// New builds a server for the given configuration.
+func New(cfg Config) *Server {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{
+		set:         repo.NewSet(),
+		clock:       clock,
+		logger:      cfg.Logger,
+		deployments: make(map[string]*deployment),
+	}
+	for _, r := range cfg.Repos {
+		s.set.Add(repo.Config{Repo: r, Priority: xcbc.XNITPriority, Enabled: true, GPGCheck: true})
+	}
+	for _, c := range cfg.RepoConfigs {
+		s.set.Add(c)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/repos", s.handleRepos)
+	mux.HandleFunc("GET /api/v1/repos/{id}", s.handleRepo)
+	mux.HandleFunc("GET /api/v1/repos/{id}/packages", s.handleRepoPackages)
+	mux.HandleFunc("POST /api/v1/depsolve", s.handleDepsolve)
+	mux.HandleFunc("GET /api/v1/deployments", s.handleDeployments)
+	mux.HandleFunc("POST /api/v1/deployments", s.handleCreateDeployment)
+	mux.HandleFunc("GET /api/v1/deployments/{id}", s.handleDeployment)
+	mux.HandleFunc("DELETE /api/v1/deployments/{id}", s.handleDeleteDeployment)
+	// Method-less fallbacks: a known path with the wrong verb is 405 (with
+	// Allow), not 404. The method-specific patterns above are more
+	// specific, so they win for their verbs.
+	for path, allow := range map[string]string{
+		"/api/v1/healthz":             "GET",
+		"/api/v1/repos":               "GET",
+		"/api/v1/repos/{id}":          "GET",
+		"/api/v1/repos/{id}/packages": "GET",
+		"/api/v1/depsolve":            "POST",
+		"/api/v1/deployments":         "GET, POST",
+		"/api/v1/deployments/{id}":    "GET, DELETE",
+	} {
+		mux.HandleFunc(path, methodNotAllowed(allow))
+	}
+	mux.HandleFunc("/api/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown API route (current version: "+Version+")")
+	})
+	// Everything else is the legacy Yum surface, served over the live set
+	// so runtime mutations through Repos() reach both route families.
+	mux.Handle("/", repo.NewSetServer(clock, s.set))
+	s.handler = s.logged(mux)
+	return s
+}
+
+// Repos returns the server's repository set; it is safe to mutate (add,
+// enable, disable) while the server runs.
+func (s *Server) Repos() *repo.Set { return s.set }
+
+// Handler returns the fully wired HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to five seconds. The
+// server carries read/write/idle timeouts so a slow or stalled client
+// cannot pin a connection open indefinitely.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.handler,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // http.ErrServerClosed
+		return nil
+	}
+}
+
+// logged wraps a handler with request logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status,
+			time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, r.Method+" not allowed (Allow: "+allow+")")
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": Version})
+}
+
+// repoInfo is the JSON shape of one repository.
+type repoInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	BaseURL  string `json:"baseurl"`
+	Priority int    `json:"priority"`
+	Enabled  bool   `json:"enabled"`
+	Packages int    `json:"packages"`
+	Revision int    `json:"revision"`
+}
+
+func repoInfoOf(c repo.Config) repoInfo {
+	return repoInfo{
+		ID:       c.Repo.ID,
+		Name:     c.Repo.Name,
+		BaseURL:  c.Repo.BaseURL,
+		Priority: c.Priority,
+		Enabled:  c.Enabled,
+		Packages: c.Repo.Len(),
+		Revision: c.Repo.Revision(),
+	}
+}
+
+func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
+	configs := s.set.Configs()
+	out := make([]repoInfo, 0, len(configs))
+	for _, c := range configs {
+		out = append(out, repoInfoOf(c))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repos": out})
+}
+
+// lookupConfig finds the config for a repository ID.
+func (s *Server) lookupConfig(id string) (repo.Config, bool) {
+	for _, c := range s.set.Configs() {
+		if c.Repo.ID == id {
+			return c, true
+		}
+	}
+	return repo.Config{}, false
+}
+
+func (s *Server) handleRepo(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookupConfig(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown repository")
+		return
+	}
+	writeJSON(w, http.StatusOK, repoInfoOf(c))
+}
+
+// packageInfo is the JSON shape of one package record.
+type packageInfo struct {
+	NEVRA    string `json:"nevra"`
+	Name     string `json:"name"`
+	Version  string `json:"version"`
+	Arch     string `json:"arch"`
+	Category string `json:"category,omitempty"`
+	Summary  string `json:"summary,omitempty"`
+	Size     int64  `json:"size_bytes,omitempty"`
+}
+
+func packageInfoOf(p *rpm.Package) packageInfo {
+	return packageInfo{
+		NEVRA:    p.NEVRA(),
+		Name:     p.Name,
+		Version:  p.EVR.String(),
+		Arch:     string(p.Arch),
+		Category: p.Category,
+		Summary:  p.Summary,
+		Size:     p.SizeBytes,
+	}
+}
+
+func (s *Server) handleRepoPackages(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep := s.set.Lookup(id)
+	if rep == nil {
+		writeError(w, http.StatusNotFound, "unknown repository")
+		return
+	}
+	var pkgs []*rpm.Package
+	if name := r.URL.Query().Get("name"); name != "" {
+		pkgs = rep.Get(name)
+	} else {
+		pkgs = rep.All()
+	}
+	out := make([]packageInfo, 0, len(pkgs))
+	for _, p := range pkgs {
+		out = append(out, packageInfoOf(p))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repo": id, "count": len(out), "packages": out})
+}
+
+// depsolveRequest asks for a dependency resolution: which package installs
+// a node with `installed` packages needs to end up with `install`.
+type depsolveRequest struct {
+	Installed []string `json:"installed"`
+	Install   []string `json:"install"`
+}
+
+type depsolveResponse struct {
+	Installs      []packageInfo `json:"installs"`
+	Count         int           `json:"count"`
+	DownloadBytes int64         `json:"download_bytes"`
+}
+
+func (s *Server) handleDepsolve(w http.ResponseWriter, r *http.Request) {
+	var req depsolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Install) == 0 {
+		writeError(w, http.StatusBadRequest, "install list is empty")
+		return
+	}
+	// Seed a hypothetical node: the installed set, closed over its
+	// dependencies, as a real node would be.
+	db := rpm.NewDB()
+	if len(req.Installed) > 0 {
+		seed, err := depsolve.New(s.set, db).Install(req.Installed...)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "installed set unresolvable: "+err.Error())
+			return
+		}
+		if err := seed.Run(db); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "installed set inconsistent: "+err.Error())
+			return
+		}
+	}
+	tx, err := depsolve.New(s.set, db).Install(req.Install...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := depsolveResponse{Installs: []packageInfo{}, DownloadBytes: tx.DownloadBytes()}
+	for _, op := range tx.Ops {
+		if op.Kind != rpm.OpErase {
+			resp.Installs = append(resp.Installs, packageInfoOf(op.Pkg))
+		}
+	}
+	resp.Count = len(resp.Installs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// deploymentInfo is the JSON shape of one managed deployment.
+type deploymentInfo struct {
+	ID                string      `json:"id"`
+	Path              string      `json:"path"`
+	Cluster           string      `json:"cluster"`
+	Site              string      `json:"site"`
+	Nodes             int         `json:"nodes"`
+	Scheduler         string      `json:"scheduler"`
+	PackagesInstalled int         `json:"packages_installed"`
+	InstallDuration   string      `json:"install_duration"`
+	CompatPassed      int         `json:"compat_passed"`
+	CompatTotal       int         `json:"compat_total"`
+	Created           time.Time   `json:"created"`
+	Events            []eventInfo `json:"events,omitempty"`
+}
+
+type eventInfo struct {
+	Stage    string `json:"stage"`
+	Node     string `json:"node,omitempty"`
+	Message  string `json:"message,omitempty"`
+	Packages int    `json:"packages,omitempty"`
+	Elapsed  string `json:"elapsed,omitempty"`
+}
+
+func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool) deploymentInfo {
+	d := dep.D
+	info := deploymentInfo{
+		ID:                dep.ID,
+		Path:              dep.Path,
+		Cluster:           d.Hardware().Name,
+		Site:              d.Hardware().Site,
+		Nodes:             d.Hardware().NodeCount(),
+		Scheduler:         d.Scheduler(),
+		PackagesInstalled: d.PackagesInstalled(),
+		InstallDuration:   d.InstallDuration().String(),
+		Created:           dep.Created,
+	}
+	if compat, err := d.Compat(); err == nil {
+		info.CompatPassed = compat.Passed
+		info.CompatTotal = compat.Total
+	}
+	if withEvents {
+		info.Events = make([]eventInfo, 0, len(dep.Events))
+		for _, ev := range dep.Events {
+			info.Events = append(info.Events, eventInfo{Stage: ev.Stage, Node: ev.Node,
+				Message: ev.Message, Packages: ev.Packages, Elapsed: ev.Elapsed.String()})
+		}
+	}
+	return info
+}
+
+func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]deploymentInfo, 0, len(s.deployments))
+	for _, dep := range s.deployments {
+		out = append(out, s.deploymentInfoOf(dep, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
+}
+
+// createDeploymentRequest provisions a new cluster through the SDK.
+type createDeploymentRequest struct {
+	Cluster   string   `json:"cluster"`
+	Path      string   `json:"path"` // "xcbc" (default) or "xnit"
+	Scheduler string   `json:"scheduler"`
+	Rolls     []string `json:"rolls"`
+	Profiles  []string `json:"profiles"`
+	NodeCount int      `json:"node_count"`
+}
+
+func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) {
+	var req createDeploymentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var events []xcbc.Event
+	progress := xcbc.WithProgress(func(ev xcbc.Event) { events = append(events, ev) })
+	hwOpts := []xcbc.Option{progress}
+	if req.Cluster != "" {
+		hwOpts = append(hwOpts, xcbc.WithCluster(req.Cluster))
+	}
+	if req.NodeCount != 0 {
+		hwOpts = append(hwOpts, xcbc.WithNodeCount(req.NodeCount))
+	}
+
+	var d *xcbc.Deployment
+	var err error
+	path := req.Path
+	if path == "" {
+		path = "xcbc"
+	}
+	switch path {
+	case "xcbc":
+		if len(req.Profiles) > 0 {
+			writeError(w, http.StatusBadRequest, "profiles are an XNIT option; the xcbc path uses rolls")
+			return
+		}
+		opts := hwOpts
+		if req.Scheduler != "" {
+			opts = append(opts, xcbc.WithScheduler(req.Scheduler))
+		}
+		if req.Rolls != nil {
+			opts = append(opts, xcbc.WithRolls(req.Rolls...))
+		}
+		d, err = xcbc.NewXCBC(opts...).Deploy(r.Context())
+	case "xnit":
+		if req.Rolls != nil {
+			writeError(w, http.StatusBadRequest, "rolls are an XCBC option; the xnit path uses profiles")
+			return
+		}
+		xnitOpts := []xcbc.Option{progress, xcbc.WithProfiles(req.Profiles...)}
+		if req.Scheduler != "" {
+			xnitOpts = append(xnitOpts, xcbc.WithScheduler(req.Scheduler))
+		}
+		var vendor *xcbc.Deployment
+		vendor, err = xcbc.NewVendor(hwOpts...).Deploy(r.Context())
+		if err == nil {
+			d, err = xcbc.NewXNIT(vendor, xnitOpts...).Deploy(r.Context())
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown path %q (use xcbc or xnit)", path))
+		return
+	}
+	if err != nil {
+		writeError(w, deployErrorStatus(err), err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	dep := &deployment{
+		ID:      fmt.Sprintf("d%d", s.nextID),
+		Path:    path,
+		Created: s.clock(),
+		D:       d,
+		Events:  events,
+	}
+	s.deployments[dep.ID] = dep
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.deploymentInfoOf(dep, true))
+}
+
+// deployErrorStatus maps SDK sentinel errors onto HTTP statuses: bad names
+// are the client's fault, impossible builds are unprocessable, anything
+// else is a server error.
+func deployErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, xcbc.ErrUnknownCluster),
+		errors.Is(err, xcbc.ErrUnknownScheduler),
+		errors.Is(err, xcbc.ErrUnknownRoll),
+		errors.Is(err, xcbc.ErrUnknownProfile),
+		errors.Is(err, xcbc.ErrUnknownPowerPolicy),
+		errors.Is(err, xcbc.ErrBadNodeCount):
+		return http.StatusBadRequest
+	case errors.Is(err, xcbc.ErrDiskless),
+		errors.Is(err, xcbc.ErrDepCycle),
+		errors.Is(err, xcbc.ErrUnresolvable),
+		errors.Is(err, xcbc.ErrJobsRunning),
+		errors.Is(err, xcbc.ErrNoRepos):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	dep, ok := s.deployments[r.PathValue("id")]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.deploymentInfoOf(dep, true))
+}
+
+func (s *Server) handleDeleteDeployment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.deployments[id]
+	delete(s.deployments, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

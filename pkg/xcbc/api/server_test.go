@@ -1,0 +1,376 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xcbc/internal/repo"
+	"xcbc/internal/rpm"
+	"xcbc/pkg/xcbc"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() time.Time { return time.Date(2015, 9, 8, 12, 0, 0, 0, time.UTC) }
+	return New(Config{Repos: []*repo.Repository{xnit}, Clock: clock})
+}
+
+// do runs one request against the handler and decodes a JSON body into out
+// (when out is non-nil).
+func do(t *testing.T, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestRouteStatusCodes(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/api/v1/healthz", "", 200},
+		{"GET", "/api/v1/repos", "", 200},
+		{"GET", "/api/v1/repos/xsede", "", 200},
+		{"GET", "/api/v1/repos/nosuch", "", 404},
+		{"GET", "/api/v1/repos/xsede/packages", "", 200},
+		{"GET", "/api/v1/repos/xsede/packages?name=gcc", "", 200},
+		{"GET", "/api/v1/repos/nosuch/packages", "", 404},
+		{"POST", "/api/v1/depsolve", `{"install":["gromacs"]}`, 200},
+		{"POST", "/api/v1/depsolve", `{"install":[]}`, 400},
+		{"POST", "/api/v1/depsolve", `{"install":["libreoffice"]}`, 422},
+		{"POST", "/api/v1/depsolve", `not json`, 400},
+		{"GET", "/api/v1/depsolve", "", 405},
+		{"DELETE", "/api/v1/repos", "", 405},
+		{"PUT", "/api/v1/deployments", "", 405},
+		{"GET", "/api/v1/deployments", "", 200},
+		{"GET", "/api/v1/deployments/nosuch", "", 404},
+		{"DELETE", "/api/v1/deployments/nosuch", "", 404},
+		{"POST", "/api/v1/deployments", `{"cluster":"atlantis"}`, 400},
+		{"POST", "/api/v1/deployments", `{"cluster":"littlefe-original"}`, 422},
+		{"POST", "/api/v1/deployments", `{"path":"teleport"}`, 400},
+		{"POST", "/api/v1/deployments", `{"path":"xcbc","profiles":["bio"]}`, 400},
+		{"POST", "/api/v1/deployments", `{"path":"xnit","rolls":["hpc"]}`, 400},
+		{"GET", "/api/v2/repos", "", 404},
+		{"GET", "/api/", "", 404},
+		// Legacy Yum surface, preserved.
+		{"GET", "/", "", 200},
+		{"GET", "/xsede/repodata/repomd.json", "", 200},
+		{"GET", "/nosuchrepo/repodata/repomd.json", "", 404},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path, tc.body, nil)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s: status %d, want %d (body %s)",
+				tc.method, tc.path, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}
+
+func TestReposJSONShape(t *testing.T) {
+	s := newTestServer(t)
+	var list struct {
+		Repos []repoInfo `json:"repos"`
+	}
+	do(t, s, "GET", "/api/v1/repos", "", &list)
+	if len(list.Repos) != 1 {
+		t.Fatalf("repos = %d, want 1", len(list.Repos))
+	}
+	r := list.Repos[0]
+	if r.ID != "xsede" || !r.Enabled || r.Packages == 0 || r.Priority != xcbc.XNITPriority {
+		t.Errorf("repo = %+v", r)
+	}
+
+	var one repoInfo
+	do(t, s, "GET", "/api/v1/repos/xsede", "", &one)
+	if one != r {
+		t.Errorf("single = %+v, list entry = %+v", one, r)
+	}
+}
+
+func TestRepoPackages(t *testing.T) {
+	s := newTestServer(t)
+	var all struct {
+		Repo     string        `json:"repo"`
+		Count    int           `json:"count"`
+		Packages []packageInfo `json:"packages"`
+	}
+	do(t, s, "GET", "/api/v1/repos/xsede/packages", "", &all)
+	if all.Repo != "xsede" || all.Count == 0 || all.Count != len(all.Packages) {
+		t.Fatalf("packages = count %d, len %d", all.Count, len(all.Packages))
+	}
+	for _, p := range all.Packages[:5] {
+		if p.NEVRA == "" || p.Name == "" || p.Arch == "" {
+			t.Errorf("incomplete package record %+v", p)
+		}
+	}
+
+	var filtered struct {
+		Count    int           `json:"count"`
+		Packages []packageInfo `json:"packages"`
+	}
+	do(t, s, "GET", "/api/v1/repos/xsede/packages?name=gcc", "", &filtered)
+	if filtered.Count == 0 {
+		t.Fatal("no gcc builds")
+	}
+	for _, p := range filtered.Packages {
+		if p.Name != "gcc" {
+			t.Errorf("filter leaked %q", p.Name)
+		}
+	}
+}
+
+func TestDepsolve(t *testing.T) {
+	s := newTestServer(t)
+	var resp depsolveResponse
+	do(t, s, "POST", "/api/v1/depsolve", `{"install":["gromacs"]}`, &resp)
+	if resp.Count == 0 || resp.Count != len(resp.Installs) {
+		t.Fatalf("depsolve = %+v", resp)
+	}
+	found := false
+	for _, p := range resp.Installs {
+		if p.Name == "gromacs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gromacs not in plan %+v", resp.Installs)
+	}
+
+	// A node that already has the package needs nothing.
+	var noop depsolveResponse
+	do(t, s, "POST", "/api/v1/depsolve", `{"installed":["gromacs"],"install":["gromacs"]}`, &noop)
+	if noop.Count != 0 {
+		t.Errorf("already-installed depsolve = %+v, want empty plan", noop)
+	}
+}
+
+func TestDeploymentLifecycle(t *testing.T) {
+	s := newTestServer(t)
+	var created deploymentInfo
+	rec := do(t, s, "POST", "/api/v1/deployments",
+		`{"cluster":"littlefe","scheduler":"torque","rolls":["ganglia","hpc"]}`, &created)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	if created.ID == "" || created.Scheduler != "torque" || created.Nodes != 6 ||
+		created.PackagesInstalled == 0 || created.CompatTotal == 0 {
+		t.Fatalf("created = %+v", created)
+	}
+	if len(created.Events) == 0 {
+		t.Error("no progress events recorded")
+	}
+
+	// XNIT path on the diskless Limulus.
+	var adopted deploymentInfo
+	rec = do(t, s, "POST", "/api/v1/deployments",
+		`{"cluster":"limulus","path":"xnit","scheduler":"torque","profiles":["compilers"]}`, &adopted)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("adopt: %d %s", rec.Code, rec.Body.String())
+	}
+	if adopted.Path != "xnit" || adopted.Scheduler != "torque" {
+		t.Fatalf("adopted = %+v", adopted)
+	}
+
+	var list struct {
+		Deployments []deploymentInfo `json:"deployments"`
+	}
+	do(t, s, "GET", "/api/v1/deployments", "", &list)
+	if len(list.Deployments) != 2 {
+		t.Fatalf("list = %d deployments, want 2", len(list.Deployments))
+	}
+
+	var got deploymentInfo
+	do(t, s, "GET", "/api/v1/deployments/"+created.ID, "", &got)
+	if got.ID != created.ID || got.Cluster != created.Cluster {
+		t.Errorf("get = %+v, want %+v", got, created)
+	}
+
+	if rec := do(t, s, "DELETE", "/api/v1/deployments/"+created.ID, "", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/api/v1/deployments/"+created.ID, "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("get after delete: %d, want 404", rec.Code)
+	}
+}
+
+func TestRepoConfigsKeepPriorities(t *testing.T) {
+	vendor := repo.New("sl-base", "Scientific Linux base", "")
+	if err := vendor.Publish(rpm.NewPackage("python", "2.6.6-52.el6.sl", rpm.ArchX86_64).Build()); err != nil {
+		t.Fatal(err)
+	}
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{RepoConfigs: []repo.Config{
+		{Repo: vendor, Priority: 10, Enabled: true},
+		{Repo: xnit, Priority: xcbc.XNITPriority, Enabled: true},
+	}})
+	var one repoInfo
+	do(t, s, "GET", "/api/v1/repos/sl-base", "", &one)
+	if one.Priority != 10 {
+		t.Errorf("vendor priority = %d, want 10", one.Priority)
+	}
+	// Priority shadowing must hold in depsolve: the vendor python wins.
+	var resp depsolveResponse
+	do(t, s, "POST", "/api/v1/depsolve", `{"install":["python"]}`, &resp)
+	if len(resp.Installs) != 1 || resp.Installs[0].Version != "2.6.6-52.el6.sl" {
+		t.Errorf("depsolve chose %+v, want the vendor python build", resp.Installs)
+	}
+}
+
+func TestYumRoutesFollowLiveSet(t *testing.T) {
+	s := newTestServer(t)
+	mirror := repo.New("campus", "Campus mirror", "")
+	if err := mirror.Publish(rpm.NewPackage("gcc", "4.4.7-4.el6", rpm.ArchX86_64).Build()); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, s, "GET", "/campus/repodata/repomd.json", "", nil); rec.Code != 404 {
+		t.Fatalf("metadata before add: %d, want 404", rec.Code)
+	}
+	s.Repos().Add(repo.Config{Repo: mirror, Priority: 60, Enabled: true})
+	if rec := do(t, s, "GET", "/campus/repodata/repomd.json", "", nil); rec.Code != 200 {
+		t.Fatalf("metadata after add: %d, want 200", rec.Code)
+	}
+	s.Repos().Remove("campus")
+	if rec := do(t, s, "GET", "/campus/repodata/repomd.json", "", nil); rec.Code != 404 {
+		t.Fatalf("metadata after remove: %d, want 404", rec.Code)
+	}
+}
+
+func TestYumRoutesPreserved(t *testing.T) {
+	s := newTestServer(t)
+	readme := do(t, s, "GET", "/", "", nil)
+	if !strings.Contains(readme.Body.String(), "[xsede]") {
+		t.Errorf("readme missing yum stanza:\n%s", readme.Body.String())
+	}
+	var md struct {
+		Packages []json.RawMessage `json:"packages"`
+	}
+	do(t, s, "GET", "/xsede/repodata/repomd.json", "", &md)
+	if len(md.Packages) == 0 {
+		t.Error("repomd.json has no package records")
+	}
+}
+
+// TestConcurrentSetMutation exercises the concurrency-safe repo.Set: API
+// reads and depsolves race against live repository configuration changes
+// and publishes. Run with -race.
+func TestConcurrentSetMutation(t *testing.T) {
+	s := newTestServer(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: add/remove extra repositories, toggle the main one, publish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("extra-%d", i%4)
+			extra := repo.New(id, "extra", "")
+			_ = extra.Publish(rpm.NewPackage("filler", fmt.Sprintf("1.%d-1", i), rpm.ArchX86_64).Build())
+			s.Repos().Add(repo.Config{Repo: extra, Priority: 60 + i%10, Enabled: i%2 == 0})
+			s.Repos().Enable("xsede", i%3 != 0)
+			s.Repos().Remove(id)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		xsede := s.Repos().Lookup("xsede")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = xsede.Publish(rpm.NewPackage("churn", fmt.Sprintf("2.%d-1", i), rpm.ArchX86_64).Build())
+		}
+	}()
+
+	// Readers: list, inspect, depsolve.
+	paths := []string{
+		"/api/v1/repos",
+		"/api/v1/repos/xsede",
+		"/api/v1/repos/xsede/packages?name=gcc",
+	}
+	for _, p := range paths {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest("GET", path, nil)
+				s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := httptest.NewRequest("POST", "/api/v1/depsolve",
+				strings.NewReader(`{"install":["gcc"]}`))
+			s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -1,0 +1,217 @@
+package xcbc
+
+import (
+	"context"
+	"fmt"
+
+	"xcbc/internal/core"
+	"xcbc/internal/provision"
+	"xcbc/internal/rpm"
+)
+
+// Builder deploys a cluster. Deploy may take a long (simulated) time; it
+// reports progress through WithProgress and honors cancellation between
+// node installs.
+type Builder interface {
+	Deploy(ctx context.Context) (*Deployment, error)
+}
+
+// NewXCBC returns a builder for the bare-metal path: assemble the Rocks
+// distribution with the XSEDE roll, install the frontend, kickstart every
+// compute node, and start the subsystems — "all at once, from scratch".
+func NewXCBC(opts ...Option) Builder {
+	return &xcbcBuilder{cfg: newConfig(opts)}
+}
+
+type xcbcBuilder struct{ cfg *config }
+
+func (b *xcbcBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	cfg := b.cfg
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	scheduler := cfg.scheduler
+	if scheduler == "" {
+		scheduler = "torque"
+	}
+	if err := checkScheduler(scheduler); err != nil {
+		return nil, err
+	}
+	rolls := cfg.rolls
+	if !cfg.rollsSet {
+		rolls = []string{"ganglia", "hpc"}
+	}
+	if err := checkRolls(rolls); err != nil {
+		return nil, err
+	}
+	policy, err := cfg.powerPolicy.internal()
+	if err != nil {
+		return nil, err
+	}
+	hw, err := cfg.resolveHardware()
+	if err != nil {
+		return nil, err
+	}
+	// Always pass a non-nil slice: core treats nil OptionalRolls as "use
+	// defaults", but WithRolls() with no names means "no optional rolls".
+	d, err := core.BuildXCBCContext(ctx, cfg.resolveEngine(), hw, core.Options{
+		Scheduler:       scheduler,
+		OptionalRolls:   append(make([]string, 0, len(rolls)), rolls...),
+		PowerPolicy:     policy,
+		MonitorInterval: cfg.monitorInterval,
+		Progress: func(ev core.BuildEvent) {
+			cfg.emit(Event{Stage: ev.Stage, Node: ev.Node, Message: ev.Message,
+				Packages: ev.Packages, Elapsed: ev.Elapsed})
+		},
+	})
+	if err != nil {
+		return nil, translate(err)
+	}
+	return &Deployment{core: d}, nil
+}
+
+// NewVendor returns a builder for a vendor-managed machine: the OS and a
+// minimal package set installed by vendor tooling (which, unlike Rocks,
+// handles diskless nodes), no XSEDE stack. Its Deployment is what NewXNIT
+// adopts.
+func NewVendor(opts ...Option) Builder {
+	return &vendorBuilder{cfg: newConfig(opts)}
+}
+
+type vendorBuilder struct{ cfg *config }
+
+// defaultBasePackages is the EL6-era ship state the paper's Limulus
+// arrives with.
+func defaultBasePackages() []*rpm.Package {
+	return []*rpm.Package{
+		rpm.NewPackage("kernel", "2.6.32-431.el6.sl", rpm.ArchX86_64).Build(),
+		rpm.NewPackage("openssh-server", "5.3p1-94.el6", rpm.ArchX86_64).Build(),
+		rpm.NewPackage("environment-modules", "3.2.10-2.el6", rpm.ArchX86_64).Build(),
+	}
+}
+
+func (b *vendorBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	cfg := b.cfg
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.schedulerSet && cfg.scheduler != "" {
+		if err := checkScheduler(cfg.scheduler); err != nil {
+			return nil, err
+		}
+	}
+	policy, err := cfg.powerPolicy.internal()
+	if err != nil {
+		return nil, err
+	}
+	hw, err := cfg.resolveHardware()
+	if err != nil {
+		return nil, err
+	}
+	eng := cfg.resolveEngine()
+	osName := cfg.vendorOS
+	if osName == "" {
+		osName = "Scientific Linux 6.5"
+	}
+	if !cfg.preProvisioned {
+		base := cfg.basePackages
+		if base == nil {
+			base = defaultBasePackages()
+		}
+		if err := provision.VendorProvision(eng, hw, osName, base); err != nil {
+			return nil, translate(err)
+		}
+		cfg.emit(Event{Stage: "vendor", Packages: len(base) * hw.NodeCount(),
+			Message: fmt.Sprintf("vendor tooling installed %s on %d nodes", osName, hw.NodeCount())})
+	}
+	d, err := core.NewVendorDeployment(eng, hw, cfg.scheduler, core.Options{
+		PowerPolicy:     policy,
+		MonitorInterval: cfg.monitorInterval,
+	})
+	if err != nil {
+		return nil, translate(err)
+	}
+	return &Deployment{core: d}, nil
+}
+
+// NewXNIT returns a builder that converts an existing deployment in place:
+// configure the XSEDE Yum repository with the recommended priority, install
+// the requested profiles and packages, and optionally change the scheduler
+// — all without touching the pre-existing cluster setup. Deploy returns
+// the same Deployment, converted.
+func NewXNIT(existing *Deployment, opts ...Option) Builder {
+	return &xnitBuilder{existing: existing, cfg: newConfig(opts)}
+}
+
+type xnitBuilder struct {
+	existing *Deployment
+	cfg      *config
+}
+
+func (b *xnitBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	cfg := b.cfg
+	d := b.existing
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if d == nil || d.core == nil {
+		return nil, fmt.Errorf("%w: NewXNIT needs the deployment to convert", ErrNilDeployment)
+	}
+	if cfg.schedulerSet && cfg.scheduler != "" {
+		if err := checkScheduler(cfg.scheduler); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkProfiles(cfg.profiles); err != nil {
+		return nil, err
+	}
+	// Idempotent repo configuration: a retry after a failed or cancelled
+	// adoption must not duplicate the xsede entry.
+	xnit := d.core.Repos.Lookup(XNITRepoID)
+	if xnit == nil {
+		var err error
+		xnit, err = core.NewXNITRepository()
+		if err != nil {
+			return nil, translate(err)
+		}
+		core.ConfigureXNIT(d.core, xnit)
+	}
+	cfg.emit(Event{Stage: "repo", Packages: xnit.Len(),
+		Message: fmt.Sprintf("configured %s repository at priority %d", XNITRepoID, XNITPriority)})
+	for _, profile := range cfg.profiles {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before profile %s: %w", profile, err)
+		}
+		n, err := d.core.InstallProfile(profile)
+		if err != nil {
+			return nil, translate(err)
+		}
+		cfg.emit(Event{Stage: "profile", Packages: n,
+			Message: fmt.Sprintf("installed profile %s cluster-wide", profile)})
+	}
+	if cfg.schedulerSet && cfg.scheduler != "" && cfg.scheduler != d.core.Scheduler {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before scheduler change: %w", err)
+		}
+		if err := d.ChangeScheduler(cfg.scheduler); err != nil {
+			return nil, err
+		}
+		cfg.emit(Event{Stage: "scheduler",
+			Message: fmt.Sprintf("scheduler changed to %s", cfg.scheduler)})
+	}
+	if len(cfg.packages) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before package installs: %w", err)
+		}
+		n, err := d.InstallPackages(cfg.packages...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.emit(Event{Stage: "packages", Packages: n,
+			Message: fmt.Sprintf("installed %d requested packages cluster-wide", n)})
+	}
+	return d, nil
+}

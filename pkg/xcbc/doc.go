@@ -1,0 +1,36 @@
+// Package xcbc is the public SDK for the XCBC/XNIT cluster toolkit: a
+// stable facade over the internal packages that implement the paper's two
+// contributions, the XSEDE-compatible basic cluster build (XCBC, bare metal
+// via Rocks) and the XSEDE National Integration Toolkit (XNIT, in-place
+// conversion via the XSEDE Yum repository).
+//
+// Both deployment paths are expressed as Builders:
+//
+//	d, err := xcbc.NewXCBC(
+//	        xcbc.WithCluster("littlefe"),
+//	        xcbc.WithScheduler("torque"),
+//	        xcbc.WithRolls("ganglia", "hpc"),
+//	).Deploy(ctx)
+//
+// builds a cluster from scratch, while
+//
+//	vendor, err := xcbc.NewVendor(xcbc.WithCluster("limulus")).Deploy(ctx)
+//	d, err := xcbc.NewXNIT(vendor,
+//	        xcbc.WithProfiles("compilers", "python"),
+//	        xcbc.WithScheduler("torque"),
+//	).Deploy(ctx)
+//
+// adopts an existing vendor-managed machine in place. Long builds report
+// per-step progress through WithProgress and honor context cancellation
+// between node installs. Failures wrap the package's sentinel errors
+// (ErrUnknownRoll, ErrDepCycle, ...) so callers can branch with errors.Is.
+//
+// The resulting Deployment exposes the day-2 operations of both papers'
+// workflows — scheduler-native command execution (Exec), profile and
+// package installation, scheduler swaps, compatibility reports, and update
+// checks — plus handles to the underlying subsystems for advanced use.
+//
+// The HTTP control plane in pkg/xcbc/api serves this SDK as a versioned
+// JSON REST API. See DESIGN.md at the repository root for the architecture
+// and the API versioning policy.
+package xcbc

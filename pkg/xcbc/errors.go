@@ -1,0 +1,63 @@
+package xcbc
+
+import (
+	"errors"
+
+	"xcbc/internal/depsolve"
+	"xcbc/internal/provision"
+	"xcbc/internal/rocks"
+)
+
+// Sentinel errors wrapped by SDK operations; test with errors.Is.
+var (
+	// ErrUnknownCluster reports a cluster name absent from Clusters().
+	ErrUnknownCluster = errors.New("xcbc: unknown cluster")
+	// ErrUnknownScheduler reports a scheduler name absent from Schedulers().
+	ErrUnknownScheduler = errors.New("xcbc: unknown scheduler")
+	// ErrUnknownRoll reports an optional roll name absent from Rolls().
+	ErrUnknownRoll = errors.New("xcbc: unknown optional roll")
+	// ErrUnknownProfile reports an XNIT profile name absent from Profiles().
+	ErrUnknownProfile = errors.New("xcbc: unknown package profile")
+	// ErrUnknownPowerPolicy reports a power policy name that is not one of
+	// the PowerPolicy constants.
+	ErrUnknownPowerPolicy = errors.New("xcbc: unknown power policy")
+	// ErrBadNodeCount reports a non-positive WithNodeCount argument.
+	ErrBadNodeCount = errors.New("xcbc: node count must be positive")
+	// ErrDiskless reports a Rocks provisioning attempt against a diskless
+	// node (the constraint that forces the Limulus onto the XNIT path).
+	ErrDiskless = errors.New("xcbc: Rocks cannot provision diskless nodes")
+	// ErrDepCycle reports a cycle in the kickstart include-graph.
+	ErrDepCycle = errors.New("xcbc: kickstart graph cycle")
+	// ErrUnresolvable reports package requirements that no enabled
+	// repository satisfies.
+	ErrUnresolvable = errors.New("xcbc: unresolvable dependencies")
+	// ErrNoRepos reports an install attempted before any repository is
+	// configured (run the XNIT builder or add a repository first).
+	ErrNoRepos = errors.New("xcbc: no enabled repositories")
+	// ErrJobsRunning reports a scheduler change attempted while jobs are
+	// still running; drain the queue first.
+	ErrJobsRunning = errors.New("xcbc: jobs still running")
+	// ErrNilDeployment reports NewXNIT called with a nil existing
+	// deployment.
+	ErrNilDeployment = errors.New("xcbc: nil deployment")
+)
+
+// translate maps internal-layer failures onto the SDK's sentinel errors so
+// callers never need to import internal packages to branch on causes. The
+// original error is preserved in the chain.
+func translate(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, provision.ErrDiskless):
+		return errors.Join(ErrDiskless, err)
+	case errors.Is(err, rocks.ErrCycle):
+		return errors.Join(ErrDepCycle, err)
+	}
+	var unres *depsolve.UnresolvableError
+	if errors.As(err, &unres) {
+		return errors.Join(ErrUnresolvable, err)
+	}
+	return err
+}

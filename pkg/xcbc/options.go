@@ -1,0 +1,263 @@
+package xcbc
+
+import (
+	"fmt"
+	"time"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/power"
+	"xcbc/internal/rpm"
+	"xcbc/internal/sim"
+)
+
+// Event is one step of a long-running deployment, delivered through
+// WithProgress. Stage names: "distribution", "frontend", "compute",
+// "subsystems" (XCBC path); "vendor" (vendor path); "repo", "profile",
+// "scheduler", "packages" (XNIT path). Elapsed is simulated time.
+type Event struct {
+	Stage    string
+	Node     string
+	Message  string
+	Packages int
+	Elapsed  time.Duration
+}
+
+// PowerPolicy selects node power management by name.
+type PowerPolicy string
+
+// Power policies.
+const (
+	PowerAlwaysOn  PowerPolicy = "always-on"
+	PowerOnDemand  PowerPolicy = "on-demand"
+	PowerScheduled PowerPolicy = "scheduled"
+)
+
+func (p PowerPolicy) internal() (power.Policy, error) {
+	switch p {
+	case "", PowerAlwaysOn:
+		return power.AlwaysOn, nil
+	case PowerOnDemand:
+		return power.OnDemand, nil
+	case PowerScheduled:
+		return power.Scheduled, nil
+	}
+	return power.AlwaysOn, wrapName(ErrUnknownPowerPolicy, string(p))
+}
+
+// config accumulates options for any of the three builders; each Deploy
+// reads the fields relevant to its path.
+type config struct {
+	clusterName     string
+	hardware        *cluster.Cluster
+	engine          *sim.Engine
+	scheduler       string
+	schedulerSet    bool
+	rolls           []string
+	rollsSet        bool
+	powerPolicy     PowerPolicy
+	monitorInterval time.Duration
+	nodeCount       int
+	progress        func(Event)
+
+	vendorOS       string
+	basePackages   []*rpm.Package
+	preProvisioned bool
+
+	profiles []string
+	packages []string
+
+	err error // first option-construction error, surfaced at Deploy
+}
+
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *config) emit(ev Event) {
+	if c.progress != nil {
+		c.progress(ev)
+	}
+}
+
+// Option configures a builder.
+type Option func(*config)
+
+// WithCluster selects hardware from the catalog by name (see Clusters()).
+func WithCluster(name string) Option {
+	return func(c *config) { c.clusterName = name }
+}
+
+// WithHardware supplies an explicit hardware description instead of a
+// catalog name. The cluster is used as-is (escape hatch for custom
+// machines).
+func WithHardware(hw *cluster.Cluster) Option {
+	return func(c *config) { c.hardware = hw }
+}
+
+// WithEngine shares a simulation engine across deployments (campus and
+// national ends of a bridging scenario, for example). A fresh engine is
+// created when omitted.
+func WithEngine(eng *sim.Engine) Option {
+	return func(c *config) { c.engine = eng }
+}
+
+// WithScheduler selects the job manager (see Schedulers()). The XCBC
+// default is "torque"; on the vendor path an empty default means no batch
+// system; on the XNIT path it requests an in-place scheduler change.
+func WithScheduler(name string) Option {
+	return func(c *config) { c.scheduler = name; c.schedulerSet = true }
+}
+
+// WithRolls selects the optional Rocks rolls to include (see Rolls()).
+// The default is ganglia and hpc. Passing no names builds the bare base +
+// XSEDE distribution.
+func WithRolls(names ...string) Option {
+	return func(c *config) { c.rolls = names; c.rollsSet = true }
+}
+
+// WithPowerPolicy selects node power management; default PowerAlwaysOn.
+func WithPowerPolicy(p PowerPolicy) Option {
+	return func(c *config) { c.powerPolicy = p }
+}
+
+// WithMonitorInterval sets the gmetad poll period; default one minute.
+func WithMonitorInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.fail(fmt.Errorf("xcbc: negative monitor interval %v", d))
+			return
+		}
+		c.monitorInterval = d
+	}
+}
+
+// WithNodeCount resizes the compute side of the selected hardware to n
+// nodes before deployment: extra nodes are cloned from the machine's last
+// compute node, surplus nodes are removed. The frontend is not counted.
+func WithNodeCount(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail(wrapName(ErrBadNodeCount, fmt.Sprint(n)))
+			return
+		}
+		c.nodeCount = n
+	}
+}
+
+// WithProgress registers a callback receiving an Event after each
+// deployment step. Events arrive synchronously on the Deploy goroutine.
+func WithProgress(fn func(Event)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithVendorOS names the operating system the vendor path installs;
+// default "Scientific Linux 6.5" (the Limulus ship state).
+func WithVendorOS(name string) Option {
+	return func(c *config) { c.vendorOS = name }
+}
+
+// WithBasePackages overrides the base package set the vendor path
+// installs on every node.
+func WithBasePackages(pkgs ...*rpm.Package) Option {
+	return func(c *config) { c.basePackages = pkgs }
+}
+
+// WithPreProvisioned tells the vendor builder the hardware already runs an
+// OS and packages (for example, hand-provisioned in a training exercise):
+// skip vendor provisioning and only assemble the deployment around it.
+func WithPreProvisioned() Option {
+	return func(c *config) { c.preProvisioned = true }
+}
+
+// WithProfiles requests XNIT package profiles to install during adoption
+// (see Profiles()).
+func WithProfiles(names ...string) Option {
+	return func(c *config) { c.profiles = append(c.profiles, names...) }
+}
+
+// WithPackages requests individual packages (with dependencies) to install
+// cluster-wide during XNIT adoption.
+func WithPackages(names ...string) Option {
+	return func(c *config) { c.packages = append(c.packages, names...) }
+}
+
+func wrapName(sentinel error, name string) error {
+	return fmt.Errorf("%w: %q", sentinel, name)
+}
+
+// newConfig applies options over defaults.
+func newConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// resolveHardware picks the cluster to deploy on: explicit hardware wins,
+// then the catalog name, then the default LittleFe. WithNodeCount is
+// applied afterwards.
+func (c *config) resolveHardware() (*cluster.Cluster, error) {
+	hw := c.hardware
+	if hw == nil {
+		name := c.clusterName
+		if name == "" {
+			name = "littlefe"
+		}
+		var err error
+		hw, err = NewCluster(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.nodeCount > 0 {
+		if err := resizeComputes(hw, c.nodeCount); err != nil {
+			return nil, err
+		}
+	}
+	return hw, nil
+}
+
+// resolveEngine returns the configured engine or a fresh one.
+func (c *config) resolveEngine() *sim.Engine {
+	if c.engine != nil {
+		return c.engine
+	}
+	return sim.NewEngine()
+}
+
+// resizeComputes grows or shrinks a cluster's compute set to n nodes,
+// cloning the hardware description of the last compute node for growth.
+func resizeComputes(hw *cluster.Cluster, n int) error {
+	if len(hw.Computes) == 0 {
+		return fmt.Errorf("%w: %s has no compute nodes to clone", ErrBadNodeCount, hw.Name)
+	}
+	if n < len(hw.Computes) {
+		hw.Computes = hw.Computes[:n]
+		return nil
+	}
+	tmpl := hw.Computes[len(hw.Computes)-1]
+	for i := len(hw.Computes); i < n; i++ {
+		name := fmt.Sprintf("compute-0-%d", i+1)
+		for j := 0; ; j++ {
+			if _, taken := hw.Lookup(name); !taken {
+				break
+			}
+			name = fmt.Sprintf("compute-0-%d", i+2+j)
+		}
+		clone := cluster.NewNode(name, cluster.RoleCompute, tmpl.CPU, tmpl.Sockets, tmpl.RAMGB)
+		for _, d := range tmpl.Disks {
+			clone.AddDisk(d)
+		}
+		for _, nic := range tmpl.NICs {
+			clone.AddNIC(nic)
+		}
+		for _, a := range tmpl.Accels {
+			clone.AddAccelerator(a)
+		}
+		hw.AddCompute(clone)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package xcbc
+
+import (
+	"sort"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/core"
+	"xcbc/internal/repo"
+	"xcbc/internal/rocks"
+)
+
+// Release versions of the reproduced stack (XCBC 0.9 on Rocks 6.1.1 /
+// CentOS 6.5, as the paper describes).
+const (
+	XCBCVersion   = core.XCBCVersion
+	RocksVersion  = core.RocksVersion
+	CentOSVersion = core.CentOSVersion
+)
+
+// clusterCatalog maps the names accepted by WithCluster to the hardware
+// catalog: every machine the paper discusses.
+var clusterCatalog = map[string]func() *cluster.Cluster{
+	"littlefe":          cluster.NewLittleFe,
+	"littlefe-original": cluster.NewLittleFeOriginal,
+	"limulus":           cluster.NewLimulusHPC200,
+	"marshall":          cluster.NewMarshall,
+	"montana":           cluster.NewMontanaState,
+	"kansas":            cluster.NewKansas,
+	"pbarc":             cluster.NewPBARC,
+	"howard":            cluster.NewHoward,
+}
+
+// Clusters lists the cluster names WithCluster accepts, sorted.
+func Clusters() []string {
+	out := make([]string, 0, len(clusterCatalog))
+	for name := range clusterCatalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewCluster builds a fresh, powered-off instance of a cataloged machine.
+func NewCluster(name string) (*cluster.Cluster, error) {
+	build, ok := clusterCatalog[name]
+	if !ok {
+		return nil, wrapName(ErrUnknownCluster, name)
+	}
+	return build(), nil
+}
+
+// Schedulers lists the job managers the XCBC build supports (Table 1:
+// choose one).
+func Schedulers() []string { return append([]string(nil), core.Schedulers...) }
+
+// Rolls lists the optional Rocks rolls of Table 1.
+func Rolls() []string { return append([]string(nil), core.OptionalRollNames...) }
+
+// RollDescription returns Table 1's description for an optional roll.
+func RollDescription(name string) string { return core.RollDescription(name) }
+
+// Profiles lists the curated XNIT package profiles, sorted.
+func Profiles() []string {
+	out := core.Profiles()
+	sort.Strings(out)
+	return out
+}
+
+// BuildDistribution assembles the complete XCBC install tree (base roll,
+// XSEDE roll for the scheduler, plus optional rolls) without deploying it —
+// the artifact a site would burn to install media.
+func BuildDistribution(scheduler string, optionalRolls ...string) (*rocks.Distribution, error) {
+	if err := checkScheduler(scheduler); err != nil {
+		return nil, err
+	}
+	if err := checkRolls(optionalRolls); err != nil {
+		return nil, err
+	}
+	return core.BuildDistribution(scheduler, optionalRolls...)
+}
+
+// NewXNITRepository creates the XSEDE Yum repository pre-populated with the
+// full XNIT catalog, ready to serve or mirror.
+func NewXNITRepository() (*repo.Repository, error) { return core.NewXNITRepository() }
+
+// XNITRepoID is the repository ID of the XSEDE Yum repository.
+const XNITRepoID = core.XNITRepoID
+
+// XNITPriority is the yum-plugin-priorities priority the XNIT README
+// recommends, below vendor/base repositories.
+const XNITPriority = core.XNITPriority
+
+func checkScheduler(name string) error {
+	for _, s := range core.Schedulers {
+		if s == name {
+			return nil
+		}
+	}
+	return wrapName(ErrUnknownScheduler, name)
+}
+
+func checkRolls(names []string) error {
+	known := make(map[string]bool, len(core.OptionalRollNames))
+	for _, r := range core.OptionalRollNames {
+		known[r] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			return wrapName(ErrUnknownRoll, n)
+		}
+	}
+	return nil
+}
+
+func checkProfiles(names []string) error {
+	known := make(map[string]bool)
+	for _, p := range core.Profiles() {
+		known[p] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			return wrapName(ErrUnknownProfile, n)
+		}
+	}
+	return nil
+}

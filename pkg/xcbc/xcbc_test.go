@@ -1,0 +1,267 @@
+package xcbc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestXCBCDeploy(t *testing.T) {
+	var events []Event
+	d, err := NewXCBC(
+		WithCluster("littlefe"),
+		WithScheduler("torque"),
+		WithRolls("ganglia", "hpc"),
+		WithProgress(func(ev Event) { events = append(events, ev) }),
+	).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if d.Scheduler() != "torque" {
+		t.Errorf("scheduler = %q, want torque", d.Scheduler())
+	}
+	if d.PackagesInstalled() == 0 {
+		t.Error("no packages installed")
+	}
+	if d.InstallDuration() <= 0 {
+		t.Errorf("install duration = %v, want > 0", d.InstallDuration())
+	}
+	if len(d.InstallLog()) == 0 {
+		t.Error("install log empty")
+	}
+
+	// The progress stream walks the build: distribution, frontend, one
+	// event per compute node, subsystems.
+	stages := map[string]int{}
+	for _, ev := range events {
+		stages[ev.Stage]++
+	}
+	if stages["distribution"] != 1 || stages["frontend"] != 1 || stages["subsystems"] != 1 {
+		t.Errorf("stage counts = %v, want one each of distribution/frontend/subsystems", stages)
+	}
+	if want := len(d.Hardware().Computes); stages["compute"] != want {
+		t.Errorf("compute events = %d, want %d", stages["compute"], want)
+	}
+
+	c, err := d.Compat()
+	if err != nil {
+		t.Fatalf("Compat: %v", err)
+	}
+	if c.Total == 0 || c.Passed == 0 {
+		t.Errorf("compat = %+v, want non-zero checks", c)
+	}
+
+	// The command facade answers the scheduler's native vocabulary.
+	out, err := d.Exec("qsub -N smoke -l nodes=2:ppn=2,walltime=00:10:00 -u alice job.sh")
+	if err != nil {
+		t.Fatalf("Exec qsub: %v", err)
+	}
+	if out == "" {
+		t.Error("qsub output empty")
+	}
+}
+
+func TestWithRollsEmptyMeansBareDistribution(t *testing.T) {
+	d, err := NewXCBC(WithCluster("littlefe"), WithRolls()).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	rolls := d.Installer().DB.Distribution().RollNames()
+	if len(rolls) != 2 {
+		t.Fatalf("rolls = %v, want only base + xsede", rolls)
+	}
+}
+
+func TestXNITDeployIdempotent(t *testing.T) {
+	d := mustVendor(t)
+	for i := 0; i < 2; i++ {
+		if _, err := NewXNIT(d, WithProfiles("compilers")).Deploy(context.Background()); err != nil {
+			t.Fatalf("Deploy %d: %v", i, err)
+		}
+	}
+	n := 0
+	for _, c := range d.Repos().Configs() {
+		if c.Repo.ID == XNITRepoID {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("xsede configured %d times after re-adoption, want 1", n)
+	}
+}
+
+func TestXCBCDeployCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewXCBC(WithCluster("littlefe")).Deploy(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Deploy with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestXCBCDeployDiskless(t *testing.T) {
+	_, err := NewXCBC(WithCluster("littlefe-original")).Deploy(context.Background())
+	if !errors.Is(err, ErrDiskless) {
+		t.Fatalf("diskless deploy error = %v, want ErrDiskless", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		b    Builder
+		want error
+	}{
+		{"unknown cluster", NewXCBC(WithCluster("deep-thought")), ErrUnknownCluster},
+		{"unknown scheduler", NewXCBC(WithScheduler("loadleveler")), ErrUnknownScheduler},
+		{"unknown roll", NewXCBC(WithRolls("cuda")), ErrUnknownRoll},
+		{"unknown power policy", NewXCBC(WithPowerPolicy("solar")), ErrUnknownPowerPolicy},
+		{"bad node count", NewXCBC(WithNodeCount(-2)), ErrBadNodeCount},
+		{"nil deployment", NewXNIT(nil), ErrNilDeployment},
+		{"unknown profile", NewXNIT(mustVendor(t), WithProfiles("quantum")), ErrUnknownProfile},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Deploy(ctx); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func mustVendor(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := NewVendor(WithCluster("limulus")).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("NewVendor: %v", err)
+	}
+	return d
+}
+
+func TestWithNodeCountResize(t *testing.T) {
+	for _, n := range []int{2, 9} {
+		d, err := NewXCBC(WithCluster("littlefe"), WithNodeCount(n)).Deploy(context.Background())
+		if err != nil {
+			t.Fatalf("Deploy with %d nodes: %v", n, err)
+		}
+		if got := len(d.Hardware().Computes); got != n {
+			t.Errorf("compute count = %d, want %d", got, n)
+		}
+	}
+}
+
+func TestXNITAdoption(t *testing.T) {
+	vendor := mustVendor(t)
+
+	// Installs without a configured repository must fail loudly.
+	if _, err := vendor.InstallPackages("gcc"); !errors.Is(err, ErrNoRepos) {
+		t.Fatalf("install before XNIT = %v, want ErrNoRepos", err)
+	}
+	before, err := vendor.Compat()
+	if err != nil {
+		t.Fatalf("Compat before: %v", err)
+	}
+
+	var events []Event
+	d, err := NewXNIT(vendor,
+		WithProfiles("compilers", "python"),
+		WithScheduler("torque"),
+		WithPackages("R"),
+		WithProgress(func(ev Event) { events = append(events, ev) }),
+	).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("XNIT Deploy: %v", err)
+	}
+	if d != vendor {
+		t.Error("XNIT must convert the deployment in place")
+	}
+	if d.Scheduler() != "torque" {
+		t.Errorf("scheduler = %q, want torque", d.Scheduler())
+	}
+	if d.Repo(XNITRepoID) == nil {
+		t.Errorf("repo %q not configured", XNITRepoID)
+	}
+	after, err := d.Compat()
+	if err != nil {
+		t.Fatalf("Compat after: %v", err)
+	}
+	if after.Score <= before.Score {
+		t.Errorf("compat score %f -> %f, want improvement", before.Score, after.Score)
+	}
+	stages := map[string]int{}
+	for _, ev := range events {
+		stages[ev.Stage]++
+	}
+	if stages["repo"] != 1 || stages["profile"] != 2 || stages["scheduler"] != 1 || stages["packages"] != 1 {
+		t.Errorf("stage counts = %v", stages)
+	}
+
+	// Unresolvable requests surface the sentinel.
+	if _, err := d.InstallPackages("libreoffice"); !errors.Is(err, ErrUnresolvable) {
+		t.Errorf("install of unknown package = %v, want ErrUnresolvable", err)
+	}
+}
+
+func TestChangeSchedulerGuards(t *testing.T) {
+	d, err := NewXCBC(WithCluster("littlefe")).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if err := d.ChangeScheduler("cron"); !errors.Is(err, ErrUnknownScheduler) {
+		t.Errorf("unknown scheduler = %v, want ErrUnknownScheduler", err)
+	}
+	if _, err := d.Exec("qsub -N busy -l nodes=1:ppn=1,walltime=01:00:00 -u bob busy.sh"); err != nil {
+		t.Fatalf("qsub: %v", err)
+	}
+	if err := d.ChangeScheduler("slurm"); !errors.Is(err, ErrJobsRunning) {
+		t.Errorf("change with running jobs = %v, want ErrJobsRunning", err)
+	}
+	d.Engine().Run() // drain
+	if err := d.ChangeScheduler("slurm"); err != nil {
+		t.Fatalf("change after drain: %v", err)
+	}
+	if d.Scheduler() != "slurm" {
+		t.Errorf("scheduler = %q, want slurm", d.Scheduler())
+	}
+}
+
+func TestUpdateCheck(t *testing.T) {
+	d, err := NewXNIT(mustVendor(t), WithProfiles("compilers")).Deploy(context.Background())
+	if err != nil {
+		t.Fatalf("XNIT Deploy: %v", err)
+	}
+	chk := d.UpdateCheck(UpdateNotify, time.Date(2015, 4, 1, 6, 0, 0, 0, time.UTC))
+	if len(chk.ByNode) != d.Hardware().NodeCount() {
+		t.Errorf("checked %d nodes, want %d", len(chk.ByNode), d.Hardware().NodeCount())
+	}
+	for node, nu := range chk.ByNode {
+		if nu.Summary == "" {
+			t.Errorf("node %s: empty summary", node)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Clusters()) == 0 || len(Schedulers()) == 0 || len(Rolls()) == 0 || len(Profiles()) == 0 {
+		t.Fatal("registries must not be empty")
+	}
+	if RollDescription("ganglia") == "" {
+		t.Error("missing roll description")
+	}
+	if _, err := BuildDistribution("torque", "ganglia"); err != nil {
+		t.Errorf("BuildDistribution: %v", err)
+	}
+	if _, err := BuildDistribution("torque", "nosuchroll"); !errors.Is(err, ErrUnknownRoll) {
+		t.Errorf("BuildDistribution bad roll = %v, want ErrUnknownRoll", err)
+	}
+	if _, err := BuildDistribution("nfs", "ganglia"); !errors.Is(err, ErrUnknownScheduler) {
+		t.Errorf("BuildDistribution bad scheduler = %v, want ErrUnknownScheduler", err)
+	}
+	r, err := NewXNITRepository()
+	if err != nil {
+		t.Fatalf("NewXNITRepository: %v", err)
+	}
+	if r.Len() == 0 {
+		t.Error("XNIT repository empty")
+	}
+}
