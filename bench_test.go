@@ -15,7 +15,11 @@ package xcbc
 //	§2/§6      -> scheduler portability
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -35,6 +39,7 @@ import (
 	"xcbc/internal/sim"
 	"xcbc/internal/verify"
 	"xcbc/internal/workload"
+	"xcbc/pkg/xcbc/api"
 )
 
 // BenchmarkTable1XCBCBuild regenerates Table 1 (XCBC build part 1).
@@ -358,6 +363,109 @@ func BenchmarkDepsolveGromacsClosure(b *testing.B) {
 		txLen = tx.Len()
 	}
 	b.ReportMetric(float64(txLen), "tx_elements")
+}
+
+// BenchmarkDepsolveCold measures dependency resolution including catalog
+// publication and index construction: the price of the first request
+// against a freshly configured repository.
+func BenchmarkDepsolveCold(b *testing.B) {
+	var txLen int
+	for i := 0; i < b.N; i++ {
+		xnit, err := core.NewXNITRepository()
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := repo.NewSet(repo.Config{Repo: xnit, Priority: core.XNITPriority, Enabled: true})
+		tx, err := depsolve.New(set, rpm.NewDB()).Install("gromacs", "trinity", "octave", "R-devel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		txLen = tx.Len()
+	}
+	b.ReportMetric(float64(txLen), "tx_elements")
+}
+
+// BenchmarkDepsolveWarm measures steady-state resolution against warm
+// repository indexes and set caches — the per-request cost an API server
+// pays after the first depsolve.
+func BenchmarkDepsolveWarm(b *testing.B) {
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := repo.NewSet(repo.Config{Repo: xnit, Priority: core.XNITPriority, Enabled: true})
+	// Warm the caches so the loop measures only steady-state work.
+	if _, err := depsolve.New(set, rpm.NewDB()).Install("gromacs", "trinity", "octave", "R-devel"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var txLen int
+	for i := 0; i < b.N; i++ {
+		tx, err := depsolve.New(set, rpm.NewDB()).Install("gromacs", "trinity", "octave", "R-devel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		txLen = tx.Len()
+	}
+	b.ReportMetric(float64(txLen), "tx_elements")
+}
+
+// BenchmarkWhoProvidesIndexed measures capability lookups against the
+// repository's provider index: the virtual capability ("mpi") and the
+// self-provide paths.
+func BenchmarkWhoProvidesIndexed(b *testing.B) {
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := []rpm.Capability{
+		rpm.Cap("mpi"),
+		rpm.Cap("gromacs"),
+		rpm.CapVer("gcc", rpm.GE, "4.4"),
+		rpm.Cap("no-such-capability"),
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs {
+			n += len(xnit.WhoProvides(req))
+		}
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "providers_per_round")
+}
+
+// BenchmarkAPIDepsolve measures the whole HTTP hot path: a POST
+// /api/v1/depsolve round trip against a warm control-plane server,
+// including JSON codec work on both sides.
+func BenchmarkAPIDepsolve(b *testing.B) {
+	xnit, err := core.NewXNITRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(api.New(api.Config{Repos: []*repo.Repository{xnit}}).Handler())
+	defer srv.Close()
+	body, err := json.Marshal(map[string]any{"install": []string{"gromacs", "octave"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Post(srv.URL+"/api/v1/depsolve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var resp struct {
+			Count int `json:"count"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			b.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK || resp.Count == 0 {
+			b.Fatalf("depsolve: status %d, count %d", res.StatusCode, resp.Count)
+		}
+	}
 }
 
 // BenchmarkVercmp measures the RPM version comparator on the reference

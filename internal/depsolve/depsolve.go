@@ -58,11 +58,47 @@ func (e *UnresolvableError) Error() string {
 func (r *Resolver) Install(names ...string) (*rpm.Transaction, error) {
 	tx := &rpm.Transaction{}
 	// planned maps package name -> package chosen in this transaction, so the
-	// closure doesn't pull the same package twice.
-	planned := make(map[string]*rpm.Package)
+	// closure doesn't pull the same package twice. The capabilities the plan
+	// provides are tracked incrementally so satisfied never rescans the
+	// whole plan: a name-presence set answers unversioned requirements (the
+	// overwhelming majority), and the flat capability list serves the rare
+	// versioned ones.
+	tx.Ops = make([]rpm.Op, 0, 32)
+	planned := make(map[string]*rpm.Package, 48)
+	providedAny := make(map[string]bool, 96) // capability name -> provided by the plan
+	var providedCaps []rpm.Capability        // explicit provides, for versioned requirements
 	var missing []MissingDep
 
-	var queue []*rpm.Package
+	queue := make([]*rpm.Package, 0, 32)
+	plan := func(p *rpm.Package) {
+		planned[p.Name] = p
+		providedAny[p.Name] = true
+		for _, c := range p.Provides {
+			providedAny[c.Name] = true
+			providedCaps = append(providedCaps, c)
+		}
+		queue = append(queue, p)
+	}
+	satisfied := func(req rpm.Capability) bool {
+		if r.DB.HasProvider(req) {
+			return true
+		}
+		if req.Rel == rpm.Any {
+			return providedAny[req.Name]
+		}
+		// Versioned requirement: check the like-named planned package's
+		// self-provide, then the plan's explicit provides.
+		if p, ok := planned[req.Name]; ok && p.ProvidesCap(req) {
+			return true
+		}
+		for _, c := range providedCaps {
+			if c.Satisfies(req) {
+				return true
+			}
+		}
+		return false
+	}
+
 	for _, name := range names {
 		best := r.Repos.Best(name)
 		if best == nil {
@@ -81,8 +117,7 @@ func (r *Resolver) Install(names ...string) (*rpm.Transaction, error) {
 		} else {
 			tx.Install(best)
 		}
-		planned[best.Name] = best
-		queue = append(queue, best)
+		plan(best)
 	}
 
 	// Breadth-first closure over requirements.
@@ -90,7 +125,7 @@ func (r *Resolver) Install(names ...string) (*rpm.Transaction, error) {
 		p := queue[0]
 		queue = queue[1:]
 		for _, req := range p.Requires {
-			if r.satisfied(req, planned) {
+			if satisfied(req) {
 				continue
 			}
 			prov := r.Repos.BestProvider(req)
@@ -106,32 +141,14 @@ func (r *Resolver) Install(names ...string) (*rpm.Transaction, error) {
 			} else {
 				tx.Install(prov)
 			}
-			planned[prov.Name] = prov
-			queue = append(queue, prov)
+			plan(prov)
 		}
 	}
 
 	if len(missing) > 0 {
 		return nil, &UnresolvableError{Missing: missing}
 	}
-	if tx.Len() == 0 {
-		return tx, nil // nothing to do: everything already installed
-	}
 	return tx, nil
-}
-
-// satisfied reports whether req is met by the installed DB or by a package
-// already planned in this transaction.
-func (r *Resolver) satisfied(req rpm.Capability, planned map[string]*rpm.Package) bool {
-	if len(r.DB.WhoProvides(req)) > 0 {
-		return true
-	}
-	for _, p := range planned {
-		if p.ProvidesCap(req) {
-			return true
-		}
-	}
-	return false
 }
 
 // Remove resolves an erase of the named packages, refusing if other installed
@@ -142,12 +159,16 @@ func (r *Resolver) Remove(names ...string) (*rpm.Transaction, error) {
 	for _, name := range names {
 		removing[name] = true
 	}
+	// The newest build of each removed name, resolved once up front rather
+	// than re-queried inside the survivor scan below.
+	removed := make([]*rpm.Package, 0, len(names))
 	for _, name := range names {
 		p := r.DB.Newest(name)
 		if p == nil {
 			return nil, fmt.Errorf("depsolve: %s is not installed", name)
 		}
 		tx.Erase(p)
+		removed = append(removed, p)
 	}
 	// Reject if a survivor depends on a removed package.
 	for _, survivor := range r.DB.Installed() {
@@ -155,21 +176,21 @@ func (r *Resolver) Remove(names ...string) (*rpm.Transaction, error) {
 			continue
 		}
 		for _, req := range survivor.Requires {
-			for _, name := range names {
-				p := r.DB.Newest(name)
-				if p != nil && p.ProvidesCap(req) {
-					// Is the requirement still met by someone staying?
-					met := false
-					for _, prov := range r.DB.WhoProvides(req) {
-						if !removing[prov.Name] {
-							met = true
-							break
-						}
+			for _, p := range removed {
+				if !p.ProvidesCap(req) {
+					continue
+				}
+				// Is the requirement still met by someone staying?
+				met := false
+				for _, prov := range r.DB.WhoProvides(req) {
+					if !removing[prov.Name] {
+						met = true
+						break
 					}
-					if !met {
-						return nil, fmt.Errorf("depsolve: cannot remove %s: required by %s",
-							name, survivor.NEVRA())
-					}
+				}
+				if !met {
+					return nil, fmt.Errorf("depsolve: cannot remove %s: required by %s",
+						p.Name, survivor.NEVRA())
 				}
 			}
 		}
@@ -193,24 +214,16 @@ func (u Update) String() string {
 func (r *Resolver) CheckUpdates() []Update {
 	var out []Update
 	for _, inst := range r.DB.Installed() {
-		best := r.Repos.Best(inst.Name)
-		if best == nil {
-			continue
-		}
-		newest := r.DB.Newest(inst.Name)
-		if inst != newest {
+		if inst != r.DB.Newest(inst.Name) {
 			continue // only report against the newest installed build
 		}
-		if best.EVR.Compare(inst.EVR) > 0 {
-			repoID := ""
-			for _, c := range r.Repos.Enabled() {
-				if c.Repo.Newest(inst.Name) == best {
-					repoID = c.Repo.ID
-					break
-				}
-			}
-			out = append(out, Update{Installed: inst, Available: best, Repo: repoID})
+		// The offering repository comes straight from the set's cached
+		// resolution view instead of a per-package scan over Enabled().
+		best, repoID := r.Repos.BestWithRepo(inst.Name)
+		if best == nil || best.EVR.Compare(inst.EVR) <= 0 {
+			continue
 		}
+		out = append(out, Update{Installed: inst, Available: best, Repo: repoID})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Installed.Name < out[j].Installed.Name })
 	return out

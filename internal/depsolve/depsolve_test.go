@@ -357,3 +357,48 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("policy strings wrong")
 	}
 }
+
+// TestResolveAcrossEnableDisable flips repository availability between
+// resolutions against one long-lived resolver: the set's cached views must
+// track every toggle, and a mid-sequence publish must surface immediately.
+func TestResolveAcrossEnableDisable(t *testing.T) {
+	set, db := fixture()
+	r := New(set, db)
+
+	if _, err := r.Install("gromacs"); err != nil {
+		t.Fatalf("resolve with repo enabled: %v", err)
+	}
+	set.Enable("xsede", false)
+	if _, err := r.Install("gromacs"); err == nil {
+		t.Fatal("resolve with repo disabled should fail")
+	}
+	set.Enable("xsede", true)
+	tx, err := r.Install("gromacs")
+	if err != nil {
+		t.Fatalf("resolve after re-enable: %v", err)
+	}
+	if tx.Len() != 4 { // gromacs, fftw, openmpi, gcc
+		t.Fatalf("tx has %d elements, want 4", tx.Len())
+	}
+
+	// A publish between resolutions must invalidate the cached winner.
+	xsede := set.Lookup("xsede")
+	newer := rpm.NewPackage("gromacs", "5.0.1-1.el6", rpm.ArchX86_64).
+		Requires(rpm.Cap("fftw"), rpm.Cap("openmpi")).Build()
+	if err := xsede.Publish(newer); err != nil {
+		t.Fatal(err)
+	}
+	tx, err = r.Install("gromacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range tx.Ops {
+		if op.Pkg == newer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("transaction still resolves the pre-publish build: %v", tx.Ops)
+	}
+}

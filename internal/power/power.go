@@ -54,7 +54,7 @@ type Manager struct {
 	BootDelay time.Duration // how long a node takes to come up
 
 	offWindows []window
-	pending    map[string]*sim.Event // node -> scheduled power-off
+	pending    map[string]sim.Handle // node -> scheduled power-off
 	lastSample sim.Time
 	events     []string
 }
@@ -71,7 +71,7 @@ func NewManager(eng *sim.Engine, c *cluster.Cluster, batch *sched.Manager, polic
 		Policy:    policy,
 		IdleGrace: 5 * time.Minute,
 		BootDelay: 90 * time.Second,
-		pending:   make(map[string]*sim.Event),
+		pending:   make(map[string]sim.Handle),
 	}
 	if batch != nil && policy != AlwaysOn {
 		batch.DrainNotify = m.nodeIdle

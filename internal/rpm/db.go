@@ -7,16 +7,24 @@ import (
 
 // DB is the installed-package database of a single node, the analogue of
 // /var/lib/rpm. The zero value is not ready; use NewDB.
+//
+// Per-name build lists are kept in PackageLess order (newest first) and a
+// capability-name index maps every provided name to its installed providers,
+// so Newest, WhoProvides, and HasProvider run without scanning or sorting.
+// Both structures are maintained incrementally by add/remove.
 type DB struct {
-	byName map[string][]*Package // multiple EVRs possible (e.g. kernel)
-	files  map[string]string     // file path -> owning package NEVRA
+	byName    map[string][]*Package // name -> builds, sorted newest first
+	provides  map[string][]*Package // capability name -> providers, sorted
+	files     map[string]string     // file path -> owning package NEVRA
+	installed []*Package            // lazy sorted cache for Installed; nil when stale
 }
 
 // NewDB returns an empty installed-package database.
 func NewDB() *DB {
 	return &DB{
-		byName: make(map[string][]*Package),
-		files:  make(map[string]string),
+		byName:   make(map[string][]*Package),
+		provides: make(map[string][]*Package),
+		files:    make(map[string]string),
 	}
 }
 
@@ -29,26 +37,29 @@ func (db *DB) Len() int {
 	return n
 }
 
-// Installed returns all installed packages sorted by NEVRA.
+// Installed returns all installed packages sorted by NEVRA. The returned
+// slice is shared (rebuilt only after an install or erase) and must not be
+// modified.
 func (db *DB) Installed() []*Package {
-	var out []*Package
-	for _, ps := range db.byName {
-		out = append(out, ps...)
+	if db.installed == nil {
+		out := make([]*Package, 0, db.Len())
+		for _, ps := range db.byName {
+			out = append(out, ps...)
+		}
+		SortPackages(out)
+		db.installed = out
 	}
-	SortPackages(out)
-	return out
+	return db.installed
 }
 
 // Get returns the installed packages with the given name, newest first.
 func (db *DB) Get(name string) []*Package {
-	ps := append([]*Package(nil), db.byName[name]...)
-	SortPackages(ps)
-	return ps
+	return append([]*Package(nil), db.byName[name]...)
 }
 
 // Newest returns the newest installed package with the given name, or nil.
 func (db *DB) Newest(name string) *Package {
-	ps := db.Get(name)
+	ps := db.byName[name]
 	if len(ps) == 0 {
 		return nil
 	}
@@ -61,15 +72,26 @@ func (db *DB) Has(name string) bool { return len(db.byName[name]) > 0 }
 // WhoProvides returns installed packages satisfying the capability.
 func (db *DB) WhoProvides(req Capability) []*Package {
 	var out []*Package
-	for _, ps := range db.byName {
-		for _, p := range ps {
-			if p.ProvidesCap(req) {
-				out = append(out, p)
-			}
+	for _, p := range db.provides[req.Name] {
+		if p.ProvidesCap(req) {
+			out = append(out, p)
 		}
 	}
-	SortPackages(out)
 	return out
+}
+
+// HasProvider reports whether any installed package satisfies the
+// capability, without allocating the provider list.
+func (db *DB) HasProvider(req Capability) bool {
+	if len(db.provides) == 0 {
+		return false // fresh node: skip hashing entirely
+	}
+	for _, p := range db.provides[req.Name] {
+		if p.ProvidesCap(req) {
+			return true
+		}
+	}
+	return false
 }
 
 // OwnerOf returns the NEVRA of the package owning a file path, if any.
@@ -86,7 +108,7 @@ func (db *DB) UnmetRequires() []Capability {
 	for _, ps := range db.byName {
 		for _, p := range ps {
 			for _, req := range p.Requires {
-				if len(db.WhoProvides(req)) == 0 {
+				if !db.HasProvider(req) {
 					unmet = append(unmet, req)
 				}
 			}
@@ -108,10 +130,14 @@ func (db *DB) add(p *Package) error {
 			return fmt.Errorf("rpm: file %s from %s conflicts with file from %s", f, p.NEVRA(), owner)
 		}
 	}
-	db.byName[p.Name] = append(db.byName[p.Name], p)
+	db.byName[p.Name] = InsertSorted(db.byName[p.Name], p)
+	for _, name := range p.ProvideNames() {
+		db.provides[name] = InsertSorted(db.provides[name], p)
+	}
 	for _, f := range p.Files {
 		db.files[f] = p.NEVRA()
 	}
+	db.installed = nil
 	return nil
 }
 
@@ -124,9 +150,16 @@ func (db *DB) remove(p *Package) error {
 			if len(db.byName[p.Name]) == 0 {
 				delete(db.byName, p.Name)
 			}
+			for _, name := range q.ProvideNames() {
+				db.provides[name] = RemovePtr(db.provides[name], q)
+				if len(db.provides[name]) == 0 {
+					delete(db.provides, name)
+				}
+			}
 			for _, f := range q.Files {
 				delete(db.files, f)
 			}
+			db.installed = nil
 			return nil
 		}
 	}
@@ -139,6 +172,9 @@ func (db *DB) Clone() *DB {
 	out := NewDB()
 	for name, ps := range db.byName {
 		out.byName[name] = append([]*Package(nil), ps...)
+	}
+	for name, ps := range db.provides {
+		out.provides[name] = append([]*Package(nil), ps...)
 	}
 	for f, o := range db.files {
 		out.files[f] = o

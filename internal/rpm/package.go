@@ -191,14 +191,39 @@ func (p *Package) AllProvides() []Capability {
 }
 
 // ProvidesCap reports whether the package satisfies the required capability,
-// either through its name/EVR or an explicit provide.
+// either through its name/EVR or an explicit provide. It allocates nothing:
+// this predicate sits on the depsolve hot path.
 func (p *Package) ProvidesCap(req Capability) bool {
-	for _, c := range p.AllProvides() {
+	if p.SelfProvides().Satisfies(req) {
+		return true
+	}
+	for _, c := range p.Provides {
 		if c.Satisfies(req) {
 			return true
 		}
 	}
 	return false
+}
+
+// ProvideNames returns the deduplicated set of capability names the package
+// provides (its own name plus explicit provides). Capability indexes key
+// their provider lists by these names.
+func (p *Package) ProvideNames() []string {
+	names := make([]string, 0, len(p.Provides)+1)
+	names = append(names, p.Name)
+	for _, c := range p.Provides {
+		dup := false
+		for _, n := range names {
+			if n == c.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names = append(names, c.Name)
+		}
+	}
+	return names
 }
 
 // ConflictsWith reports whether p declares a conflict that q matches, in
@@ -299,18 +324,44 @@ func (b *Builder) Build() *Package {
 	return &p
 }
 
-// SortPackages orders packages by name, then EVR descending (newest first),
-// then architecture, the order Yum uses when listing candidates.
+// PackageLess is the candidate-listing order Yum uses: name ascending, then
+// EVR descending (newest first), then architecture. Sorted indexes and
+// SortPackages share it so indexed and scanned lookups agree.
+func PackageLess(a, b *Package) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if c := a.EVR.Compare(b.EVR); c != 0 {
+		return c > 0
+	}
+	return a.Arch < b.Arch
+}
+
+// SortPackages orders packages by PackageLess.
 func SortPackages(pkgs []*Package) {
-	sort.SliceStable(pkgs, func(i, j int) bool {
-		if pkgs[i].Name != pkgs[j].Name {
-			return pkgs[i].Name < pkgs[j].Name
+	sort.SliceStable(pkgs, func(i, j int) bool { return PackageLess(pkgs[i], pkgs[j]) })
+}
+
+// InsertSorted inserts p into a slice maintained in PackageLess order,
+// returning the updated slice. Equal elements keep insertion order.
+func InsertSorted(ps []*Package, p *Package) []*Package {
+	i := sort.Search(len(ps), func(i int) bool { return PackageLess(p, ps[i]) })
+	ps = append(ps, nil)
+	copy(ps[i+1:], ps[i:])
+	ps[i] = p
+	return ps
+}
+
+// RemovePtr drops the exact package pointer from a list, copy-on-write: the
+// input slice's elements are never overwritten, so readers holding it are
+// unaffected. Returns the input unchanged if p is absent.
+func RemovePtr(ps []*Package, p *Package) []*Package {
+	for i, q := range ps {
+		if q == p {
+			return append(ps[:i:i], ps[i+1:]...)
 		}
-		if c := pkgs[i].EVR.Compare(pkgs[j].EVR); c != 0 {
-			return c > 0
-		}
-		return pkgs[i].Arch < pkgs[j].Arch
-	})
+	}
+	return ps
 }
 
 // ParseCapability parses strings like "openmpi", "gcc >= 4.4", or

@@ -33,9 +33,7 @@ func (m *Manager) NodeFail(name string) error {
 	}
 	for _, j := range victims {
 		// Release all of the job's cores (including on healthy nodes).
-		if j.finish != nil {
-			m.Engine.Cancel(j.finish)
-		}
+		m.Engine.Cancel(j.finish) // no-op for fired, cancelled, or zero handles
 		delete(m.running, j.ID)
 		for node, c := range j.Alloc {
 			m.free[node] += c

@@ -61,7 +61,7 @@ type Job struct {
 	// from qsub/sbatch arguments.
 	Script string
 
-	finish   *sim.Event
+	finish   sim.Handle
 	requeued bool // set when a node failure bounced the job back to the queue
 }
 

@@ -338,9 +338,7 @@ func (m *Manager) finish(j *Job, state JobState) {
 	if j.terminal() {
 		return
 	}
-	if j.finish != nil {
-		m.Engine.Cancel(j.finish)
-	}
+	m.Engine.Cancel(j.finish) // no-op for fired, cancelled, or zero handles
 	delete(m.running, j.ID)
 	j.State = state
 	j.EndTime = m.Engine.Now()

@@ -30,17 +30,30 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a scheduled callback. The callback receives the engine so that it
-// can schedule follow-up events.
+// can schedule follow-up events. Callers hold Handles, not Events: the
+// engine recycles executed Event structs through a free list.
 type Event struct {
 	At    Time
 	Name  string
 	Fn    func(*Engine)
-	seq   uint64 // tie-break so equal-time events run in schedule order
+	seq   uint64 // unique per scheduling; tie-break and Handle validity check
 	index int    // heap index; -1 once popped or cancelled
 }
 
-// Cancelled reports whether the event has been cancelled or already executed.
-func (e *Event) Cancelled() bool { return e.index == -2 }
+// Handle identifies one scheduled event. It stays valid forever: the seq
+// check makes a Handle inert once its event has executed or been cancelled,
+// even after the engine reuses the underlying struct for a later event. The
+// zero Handle is inert.
+type Handle struct {
+	ev  *Event
+	seq uint64
+}
+
+// Cancelled reports whether the event has been cancelled or has already
+// executed.
+func (h Handle) Cancelled() bool {
+	return h.ev == nil || h.ev.seq != h.seq || h.ev.index == -2
+}
 
 type eventQueue []*Event
 
@@ -72,15 +85,27 @@ func (q *eventQueue) Pop() any {
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// Executed Event structs are recycled through a free list, so steady-state
+// scheduling (the tick pattern: every callback schedules its successor) runs
+// without allocating. Handles stay safe across recycling: each carries the
+// scheduling's sequence number, so Cancel and Cancelled on a stale Handle
+// are no-ops rather than hitting whatever event reuses the struct.
 type Engine struct {
 	now    Time
 	queue  eventQueue
 	seq    uint64
 	nSteps uint64
+	free   []*Event // executed events awaiting reuse
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// maxFree bounds the free list so a drained queue does not pin every Event
+// ever scheduled.
+const maxFree = 1024
+
+// NewEngine returns an engine with the clock at zero and the event queue
+// preallocated.
+func NewEngine() *Engine { return &Engine{queue: make(eventQueue, 0, 64)} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -94,35 +119,39 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // At schedules fn at absolute virtual time t. Scheduling in the past is an
 // error that is reported by panicking, since it indicates a logic bug in the
 // simulation rather than a recoverable condition.
-func (e *Engine) At(t Time, name string, fn func(*Engine)) *Event {
+func (e *Engine) At(t Time, name string, fn func(*Engine)) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
 	}
-	ev := &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	} else {
+		ev = &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, seq: ev.seq}
 }
 
 // After schedules fn after delay d from the current virtual time.
-func (e *Engine) After(d time.Duration, name string, fn func(*Engine)) *Event {
+func (e *Engine) After(d time.Duration, name string, fn func(*Engine)) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+Time(d), name, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-executed or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
-		if ev != nil {
-			ev.index = -2
-		}
+// Cancel removes a scheduled event. Cancelling an already-executed,
+// already-cancelled, or zero Handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev == nil || h.ev.seq != h.seq || h.ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -2
+	heap.Remove(&e.queue, h.ev.index)
+	h.ev.index = -2
 }
 
 // Step executes the next event, advancing the clock to its time. It reports
@@ -136,6 +165,15 @@ func (e *Engine) Step() bool {
 	e.nSteps++
 	ev.index = -2
 	ev.Fn(e)
+	// Recycle only after the callback returns: callbacks may Cancel the
+	// very event that is firing (a no-op), which must not hit a reused
+	// struct. In the steady tick pattern two structs simply alternate
+	// between the queue and the free list, so scheduling stays
+	// allocation-free.
+	ev.Fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
 	return true
 }
 

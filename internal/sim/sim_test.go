@@ -76,9 +76,32 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() should be true after Cancel")
 	}
-	// Double-cancel is a no-op.
+	// Double-cancel and a zero Handle are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
+}
+
+// TestStaleHandleAfterRecycle pins the free-list safety contract: once an
+// event has fired and its struct has been reused for a later scheduling,
+// the old Handle must stay inert — Cancel must not touch the new event.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	stale := e.After(time.Second, "first", func(*Engine) { ran = append(ran, "first") })
+	e.Run()
+	if stale.Cancelled() != true {
+		t.Fatal("fired event should report Cancelled")
+	}
+	// The free list hands the same struct to the next scheduling.
+	fresh := e.After(time.Second, "second", func(*Engine) { ran = append(ran, "second") })
+	e.Cancel(stale) // must NOT cancel "second"
+	if fresh.Cancelled() {
+		t.Fatal("stale Cancel hit the recycled event")
+	}
+	e.Run()
+	if len(ran) != 2 || ran[1] != "second" {
+		t.Fatalf("ran = %v, want [first second]", ran)
+	}
 }
 
 func TestCancelOneOfMany(t *testing.T) {
