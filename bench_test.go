@@ -16,6 +16,7 @@ package xcbc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -39,6 +40,7 @@ import (
 	"xcbc/internal/sim"
 	"xcbc/internal/verify"
 	"xcbc/internal/workload"
+	sdk "xcbc/pkg/xcbc"
 	"xcbc/pkg/xcbc/api"
 )
 
@@ -745,3 +747,32 @@ func BenchmarkTiledUpdate(b *testing.B) {
 		})
 	}
 }
+
+// benchmarkBuildXCBC builds the benchmark cluster (the catalog LittleFe
+// grown to 32 compute nodes so wave width 8 has four full waves) at the
+// given wave width, reporting both wall-clock and the simulated install
+// duration the wave cost model produces.
+func benchmarkBuildXCBC(b *testing.B, parallelism int) {
+	var simDur time.Duration
+	for i := 0; i < b.N; i++ {
+		d, err := sdk.NewXCBC(
+			sdk.WithCluster("littlefe"),
+			sdk.WithNodeCount(32),
+			sdk.WithParallelism(parallelism),
+		).Deploy(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		simDur = d.InstallDuration()
+	}
+	b.ReportMetric(simDur.Seconds(), "sim_install_s")
+}
+
+// BenchmarkBuildXCBCSequential is the seed behavior: one kickstart at a
+// time, install time the sum over nodes.
+func BenchmarkBuildXCBCSequential(b *testing.B) { benchmarkBuildXCBC(b, 1) }
+
+// BenchmarkBuildXCBCWave8 overlaps eight kickstarts per wave, the paper's
+// frontend-bounded parallel build; simulated install duration is the max
+// per wave instead of the sum.
+func BenchmarkBuildXCBCWave8(b *testing.B) { benchmarkBuildXCBC(b, 8) }

@@ -6,13 +6,21 @@
 //
 //	clusterctl -cluster littlefe -scheduler torque
 //	clusterctl -cluster limulus -power on-demand
+//	clusterctl deploy -cluster littlefe -parallelism 8 -watch
+//
+// The deploy subcommand drives the asynchronous orchestrator path: the
+// build starts as a background job; -watch streams its journal to the
+// terminal and the command exits with the deployment's terminal state
+// (0 ready, 1 failed, 2 cancelled — Ctrl-C cancels the build).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"xcbc/internal/sim"
@@ -20,6 +28,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "deploy" {
+		os.Exit(deployCmd(os.Args[2:]))
+	}
 	clusterName := flag.String("cluster", "littlefe", "cluster: littlefe, marshall, or howard (XCBC path)")
 	scheduler := flag.String("scheduler", "torque", "torque, slurm, or sge")
 	powerPolicy := flag.String("power", "always-on", "always-on, on-demand, or scheduled")
@@ -76,4 +87,65 @@ func main() {
 	total := d.PowerManager().Finalize()
 	fmt.Printf("\nworkload complete at %v; %d jobs finished; energy %.1f Wh (policy %s)\n",
 		eng.Now(), len(d.Batch().History()), total, *powerPolicy)
+}
+
+// deployCmd runs `clusterctl deploy`: start an asynchronous build, watch
+// its journal, exit with the terminal state.
+func deployCmd(args []string) int {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	clusterName := fs.String("cluster", "littlefe", "cluster to build")
+	scheduler := fs.String("scheduler", "torque", "torque, slurm, or sge")
+	nodes := fs.Int("nodes", 0, "override the compute node count (0 = as cataloged)")
+	parallelism := fs.Int("parallelism", 1, "compute kickstarts per wave (1 = sequential)")
+	retries := fs.Int("retries", 0, "per-node install retries before quarantine")
+	watch := fs.Bool("watch", false, "stream build events until the deployment settles")
+	fs.Parse(args)
+
+	opts := []xcbc.Option{
+		xcbc.WithCluster(*clusterName),
+		xcbc.WithScheduler(*scheduler),
+		xcbc.WithParallelism(*parallelism),
+		xcbc.WithRetries(*retries),
+	}
+	if *nodes > 0 {
+		opts = append(opts, xcbc.WithNodeCount(*nodes))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	h, err := xcbc.NewXCBC(opts...).Start(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterctl deploy:", err)
+		return 1
+	}
+	go func() {
+		<-ctx.Done()
+		h.Cancel()
+	}()
+
+	if *watch {
+		h.Watch(context.Background(), func(ev xcbc.Event) {
+			fmt.Printf("  %4d [%-12s] %-14s %s\n", ev.Seq, ev.Stage, ev.Node, ev.Message)
+		})
+	}
+
+	d, err := h.Wait(context.Background())
+	switch h.Status() {
+	case xcbc.StateReady:
+		fmt.Printf("deployment ready: %s, %d nodes, %d packages in %v (simulated, parallelism %d)\n",
+			d.Hardware().Name, d.Hardware().NodeCount(), d.PackagesInstalled(),
+			d.InstallDuration(), *parallelism)
+		if q := d.Quarantined(); len(q) > 0 {
+			fmt.Printf("quarantined nodes: %v\n", q)
+		}
+		return 0
+	case xcbc.StateCancelled:
+		fmt.Fprintln(os.Stderr, "clusterctl deploy: build cancelled")
+		return 2
+	default:
+		if err == nil {
+			err = errors.New(string(h.Status()))
+		}
+		fmt.Fprintln(os.Stderr, "clusterctl deploy: build failed:", err)
+		return 1
+	}
 }

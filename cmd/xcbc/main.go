@@ -26,6 +26,8 @@ func main() {
 	scheduler := flag.String("scheduler", "torque", "job manager: torque, slurm, or sge (Table 1: choose one)")
 	rolls := flag.String("rolls", "ganglia,hpc", "comma-separated optional rolls from Table 1")
 	nodes := flag.Int("nodes", 0, "override the compute node count (0 = as cataloged)")
+	parallelism := flag.Int("parallelism", 1, "compute kickstarts per wave (1 = sequential)")
+	retries := flag.Int("retries", 0, "per-node install retries before quarantine")
 	progress := flag.Bool("progress", false, "print each build step as it happens")
 	verbose := flag.Bool("v", false, "print the installer log")
 	flag.Parse()
@@ -38,29 +40,37 @@ func main() {
 		xcbc.WithCluster(*clusterName),
 		xcbc.WithScheduler(*scheduler),
 		xcbc.WithRolls(optional...),
+		xcbc.WithParallelism(*parallelism),
+		xcbc.WithRetries(*retries),
 	}
 	if *nodes > 0 {
 		opts = append(opts, xcbc.WithNodeCount(*nodes))
 	}
-	if *progress {
-		opts = append(opts, xcbc.WithProgress(func(ev xcbc.Event) {
-			fmt.Printf("  [%-12s] %s %s\n", ev.Stage, ev.Node, ev.Message)
-		}))
-	}
 
-	d, err := xcbc.NewXCBC(opts...).Deploy(context.Background())
+	// The async path: start the build as a job, stream its journal while it
+	// runs, then wait for the terminal state.
+	h, err := xcbc.NewXCBC(opts...).Start(context.Background())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcbc: build failed: %v\n", err)
-		fmt.Fprintln(os.Stderr, "hint: Rocks cannot install diskless nodes; the paper's modified")
-		fmt.Fprintln(os.Stderr, "LittleFe adds mSATA drives, and diskless machines (Limulus) take the XNIT path.")
-		os.Exit(1)
+		fail(err)
+	}
+	if *progress {
+		h.Watch(context.Background(), func(ev xcbc.Event) {
+			fmt.Printf("  [%-12s] %s %s\n", ev.Stage, ev.Node, ev.Message)
+		})
+	}
+	d, err := h.Wait(context.Background())
+	if err != nil {
+		fail(err)
 	}
 	c := d.Hardware()
 	fmt.Printf("XCBC %s build complete on %s (%s)\n", xcbc.XCBCVersion, c.Name, c.Site)
 	fmt.Printf("  scheduler:          %s\n", d.Scheduler())
-	fmt.Printf("  nodes installed:    %d\n", c.NodeCount())
+	fmt.Printf("  nodes installed:    %d\n", c.NodeCount()-len(d.Quarantined()))
+	if q := d.Quarantined(); len(q) > 0 {
+		fmt.Printf("  quarantined:        %v\n", q)
+	}
 	fmt.Printf("  packages installed: %d (across all nodes)\n", d.PackagesInstalled())
-	fmt.Printf("  simulated duration: %v\n", d.InstallDuration())
+	fmt.Printf("  simulated duration: %v (parallelism %d)\n", d.InstallDuration(), *parallelism)
 	fmt.Printf("  Rpeak:              %.1f GFLOPS\n", c.RpeakGFLOPS())
 	if *verbose {
 		fmt.Println("installer log:")
@@ -75,4 +85,11 @@ func main() {
 	}
 	fmt.Print(rep.Text)
 	fmt.Println(cluster.RenderTopology(c))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xcbc: build failed: %v\n", err)
+	fmt.Fprintln(os.Stderr, "hint: Rocks cannot install diskless nodes; the paper's modified")
+	fmt.Fprintln(os.Stderr, "LittleFe adds mSATA drives, and diskless machines (Limulus) take the XNIT path.")
+	os.Exit(1)
 }

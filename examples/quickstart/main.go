@@ -15,16 +15,27 @@ func main() {
 	// 1. The build: six Celeron G1840 nodes with mSATA disks (the
 	// modification that makes Rocks provisioning possible), Rocks base +
 	// XSEDE roll + ganglia/hpc rolls, Torque+Maui as the scheduler — all
-	// at once, from scratch, through the one public entry point.
-	d, err := xcbc.NewXCBC(
+	// at once, from scratch. The build runs as an asynchronous job:
+	// Start returns a handle immediately, compute nodes kickstart in
+	// waves of four overlapping installs, and the journal streams
+	// progress while we wait.
+	h, err := xcbc.NewXCBC(
 		xcbc.WithCluster("littlefe"),
 		xcbc.WithScheduler("torque"),
-	).Deploy(context.Background())
+		xcbc.WithParallelism(4),
+	).Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h.Watch(context.Background(), func(ev xcbc.Event) {
+		fmt.Printf("  [%s] %s %s\n", ev.Stage, ev.Node, ev.Message)
+	})
+	d, err := h.Wait(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hardware: %s\n", d.Hardware().Summary())
-	fmt.Printf("installed %d packages across %d nodes in %v (simulated)\n",
+	fmt.Printf("installed %d packages across %d nodes in %v (simulated, wave width 4)\n",
 		d.PackagesInstalled(), d.Hardware().NodeCount(), d.InstallDuration())
 
 	// 2. Users interact exactly as they would on an XSEDE machine.

@@ -24,7 +24,9 @@ func main() {
 	ctx := context.Background()
 
 	// The deskside Limulus arrives vendor-managed; XNIT converts it in
-	// place: bio + compiler stacks, Torque+Maui, on-demand power.
+	// place: bio + compiler stacks, Torque+Maui, on-demand power. The
+	// adoption runs as an asynchronous job — the scientist starts it and
+	// watches the journal instead of blocking on the conversion.
 	vendor, err := xcbc.NewVendor(
 		xcbc.WithCluster("limulus"),
 		xcbc.WithPowerPolicy(xcbc.PowerOnDemand),
@@ -32,12 +34,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := xcbc.NewXNIT(vendor,
+	adoption, err := xcbc.NewXNIT(vendor,
 		xcbc.WithProfiles("bio", "compilers"),
 		xcbc.WithScheduler("torque"),
-	).Deploy(ctx)
+	).Start(ctx)
 	if err != nil {
 		log.Fatal(err)
+	}
+	d, err := adoption.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if evs, _ := adoption.Events(0); len(evs) > 0 {
+		for _, ev := range evs {
+			fmt.Printf("  [%s] %s\n", ev.Stage, ev.Message)
+		}
 	}
 	eng := d.Engine()
 	limulus := d.Hardware()

@@ -19,8 +19,9 @@ import (
 
 // BuildEvent is one step of a long-running build, reported through
 // Options.Progress. Stage is one of "distribution", "frontend", "compute",
-// "subsystems"; Node is set for per-node stages; Packages and Elapsed carry
-// the install cost where the stage has one (Elapsed is simulated time).
+// "wave", "quarantine", "subsystems"; Node is set for per-node stages;
+// Packages and Elapsed carry the install cost where the stage has one
+// (Elapsed is simulated time).
 type BuildEvent struct {
 	Stage    string
 	Node     string
@@ -42,6 +43,16 @@ type Options struct {
 	MonitorInterval time.Duration
 	// Progress, when non-nil, receives a BuildEvent after each build step.
 	Progress func(BuildEvent)
+	// Parallelism is the compute-install wave width: how many kickstarts
+	// overlap, bounded by frontend serving capacity. <= 1 installs
+	// sequentially (the seed behavior).
+	Parallelism int
+	// Retries is how many times a failed node install is re-attempted (with
+	// simulated backoff) before the node is quarantined.
+	Retries int
+	// InstallHook, when non-nil, runs before every node install attempt;
+	// an error fails that attempt. Fault-injection seam for tests.
+	InstallHook func(node string, attempt int) error
 }
 
 func (o Options) emit(ev BuildEvent) {
@@ -81,6 +92,27 @@ type Deployment struct {
 	InstallDuration time.Duration
 	// PackagesInstalled counts packages placed across all nodes at build.
 	PackagesInstalled int
+	// Quarantined lists compute nodes that exhausted their install retries
+	// and were set aside; they remain in the hardware description but carry
+	// no OS.
+	Quarantined []string
+}
+
+// PreflightXCBC validates that Rocks can provision the cluster at all:
+// every node needs a local disk ("Rocks does not support diskless
+// installation"). Running it before a build starts lets callers reject an
+// impossible request synchronously instead of discovering the constraint
+// mid-kickstart.
+func PreflightXCBC(c *cluster.Cluster) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for _, n := range c.Nodes() {
+		if !n.HasDisk() {
+			return fmt.Errorf("core: XCBC preflight: %w: node %s", provision.ErrDiskless, n.Name)
+		}
+	}
+	return nil
 }
 
 // BuildXCBC performs the complete "all at once, from scratch" XCBC build on
@@ -91,14 +123,18 @@ func BuildXCBC(eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, 
 }
 
 // BuildXCBCContext is BuildXCBC with cancellation: the context is checked
-// between node installs (a kickstart, once started, runs to completion, as
-// on real hardware). Progress events are emitted through Options.Progress.
+// between provisioning waves (a wave, once started, runs to completion, as
+// kickstarts do on real hardware — so cancellation never leaves a
+// half-kickstarted node). Compute nodes install in waves of
+// Options.Parallelism overlapping kickstarts; failed nodes retry with
+// backoff and are quarantined rather than aborting the build. Progress
+// events are emitted through Options.Progress.
 func BuildXCBCContext(ctx context.Context, eng *sim.Engine, c *cluster.Cluster, opts Options) (*Deployment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	if err := c.Validate(); err != nil {
+	if err := PreflightXCBC(c); err != nil {
 		return nil, err
 	}
 	dist, err := BuildDistribution(o.Scheduler, o.OptionalRolls...)
@@ -113,6 +149,7 @@ func BuildXCBCContext(ctx context.Context, eng *sim.Engine, c *cluster.Cluster, 
 		Message: fmt.Sprintf("assembled %s (%d rolls)", dist.Name, len(dist.RollNames()))})
 	feDB := rocks.NewFrontendDB(dist)
 	installer := provision.NewInstaller(c, feDB, graph, "CentOS "+CentOSVersion)
+	installer.Hook = o.InstallHook
 	start := eng.Now()
 	d := &Deployment{
 		Cluster:   c,
@@ -132,17 +169,29 @@ func BuildXCBCContext(ctx context.Context, eng *sim.Engine, c *cluster.Cluster, 
 	if err := installer.DiscoverComputes(); err != nil {
 		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
 	}
+	names := make([]string, 0, len(c.Computes))
 	for _, n := range c.Computes {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: XCBC build cancelled before %s: %w", n.Name, err)
+		names = append(names, n.Name)
+	}
+	wopts := provision.WaveOptions{Width: o.Parallelism, Retries: o.Retries}
+	_, err = installer.InstallComputeWaves(ctx, eng, names, wopts, func(i int, wr *provision.WaveResult) {
+		for _, r := range wr.Results {
+			d.PackagesInstalled += r.Packages
+			o.emit(BuildEvent{Stage: "compute", Node: r.Node,
+				Packages: r.Packages, Elapsed: r.Duration, Message: "kickstarted"})
 		}
-		r, err := installer.InstallCompute(eng, n.Name)
-		if err != nil {
-			return nil, fmt.Errorf("core: XCBC install failed: %w", err)
+		for _, f := range wr.Failed {
+			d.Quarantined = append(d.Quarantined, f.Node)
+			o.emit(BuildEvent{Stage: "quarantine", Node: f.Node,
+				Message: fmt.Sprintf("quarantined after %d attempt(s): %v", f.Attempts, f.Err)})
 		}
-		d.PackagesInstalled += r.Packages
-		o.emit(BuildEvent{Stage: "compute", Node: r.Node,
-			Packages: r.Packages, Elapsed: r.Duration, Message: "kickstarted"})
+		if o.Parallelism > 1 {
+			o.emit(BuildEvent{Stage: "wave", Elapsed: wr.Duration,
+				Message: fmt.Sprintf("wave %d: %d node(s) kickstarted in parallel", i+1, len(wr.Results))})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: XCBC install failed: %w", err)
 	}
 	d.InstallDuration = (eng.Now() - start).Duration()
 	d.finishAssembly(o)

@@ -1,0 +1,261 @@
+// Package orchestrator turns long-running cluster builds into first-class
+// asynchronous jobs. A Job moves through an explicit lifecycle
+//
+//	pending → building → ready | failed | cancelled
+//
+// driven by a bounded worker pool, records its progress in a capped,
+// thread-safe Journal, and supports cooperative cancellation: the build
+// function receives a context that Cancel trips, and is expected to stop
+// cleanly at its next safe point (between provisioning waves).
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// State is a job's position in the deployment lifecycle.
+type State int32
+
+// Lifecycle states. Pending and Building are transient; the rest are
+// terminal.
+const (
+	StatePending State = iota
+	StateBuilding
+	StateReady
+	StateFailed
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateBuilding:
+		return "building"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateReady || s == StateFailed || s == StateCancelled
+}
+
+// BuildFunc performs the job's work. It must honor ctx (return promptly,
+// wrapping ctx.Err(), once cancelled) and may call emit to journal progress;
+// emit returns the sequence number assigned to the event. The returned value
+// becomes the job's Result on success.
+type BuildFunc func(ctx context.Context, emit func(Event) int) (any, error)
+
+// Orchestrator runs jobs on a bounded pool: at most `workers` build
+// functions execute concurrently; excess submissions queue in StatePending.
+type Orchestrator struct {
+	sem chan struct{}
+}
+
+// New returns an orchestrator running at most workers concurrent builds;
+// workers < 1 is treated as 1.
+func New(workers int) *Orchestrator {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Orchestrator{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (o *Orchestrator) Workers() int { return cap(o.sem) }
+
+// Submit queues fn for execution and returns immediately with the job's
+// handle in StatePending. The job's context derives from ctx, so cancelling
+// ctx — or calling Job.Cancel — moves the job toward StateCancelled.
+// journalCap bounds the job's event journal (<= 0 selects the default).
+func (o *Orchestrator) Submit(ctx context.Context, name string, journalCap int, fn BuildFunc) *Job {
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		name:    name,
+		journal: NewJournal(journalCap),
+		state:   StatePending,
+		done:    make(chan struct{}),
+		cancel:  cancel,
+		subs:    make(map[int]chan struct{}),
+	}
+	go func() {
+		defer cancel()
+		// Wait for a worker slot; a cancellation that lands first ends the
+		// job without it ever running.
+		select {
+		case o.sem <- struct{}{}:
+			defer func() { <-o.sem }()
+		case <-jctx.Done():
+			j.finish(nil, jctx.Err())
+			return
+		}
+		if err := jctx.Err(); err != nil {
+			j.finish(nil, err)
+			return
+		}
+		j.setState(StateBuilding)
+		result, err := runBuild(jctx, fn, j.emit)
+		j.finish(result, err)
+	}()
+	return j
+}
+
+// runBuild invokes fn, converting a panic into a failure so one broken
+// build cannot take down the whole control plane.
+func runBuild(ctx context.Context, fn BuildFunc, emit func(Event) int) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, fmt.Errorf("orchestrator: build panicked: %v", r)
+		}
+	}()
+	return fn(ctx, emit)
+}
+
+// Job is one submitted build. All methods are safe for concurrent use.
+type Job struct {
+	name    string
+	journal *Journal
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu      sync.Mutex
+	state   State
+	result  any
+	err     error
+	subs    map[int]chan struct{}
+	nextSub int
+}
+
+// Name returns the label the job was submitted under.
+func (j *Job) Name() string { return j.name }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error: nil while running and on success,
+// the build error once failed, and a context error once cancelled.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the build function's return value and true once the job is
+// StateReady; otherwise nil and false.
+func (j *Job) Result() (any, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateReady {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// whichever comes first, and returns the job's result and error. Waiting is
+// passive: a ctx expiring here abandons the wait without cancelling the job.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel asks the job to stop. A pending job never runs; a building job's
+// context is cancelled and the build stops at its next check point. Cancel
+// after a terminal state is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Events returns journaled events with Seq >= cursor plus the next cursor;
+// see Journal.Since.
+func (j *Job) Events(cursor int) ([]Event, int) { return j.journal.Since(cursor) }
+
+// Journal exposes the job's event journal.
+func (j *Job) Journal() *Journal { return j.journal }
+
+// Subscribe registers for wake-ups: the returned channel receives (with a
+// buffer of one, coalescing bursts) after every journal append and state
+// change. The caller must invoke the returned cancel function when done.
+func (j *Job) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+// emit journals an event and wakes subscribers.
+func (j *Job) emit(ev Event) int {
+	seq := j.journal.Append(ev)
+	j.mu.Lock()
+	j.notifyLocked()
+	j.mu.Unlock()
+	return seq
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = s
+		j.notifyLocked()
+	}
+	j.mu.Unlock()
+}
+
+// finish records the terminal state exactly once.
+func (j *Job) finish(result any, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	switch {
+	case err == nil:
+		j.state, j.result = StateReady, result
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.state, j.err = StateCancelled, err
+	default:
+		j.state, j.err = StateFailed, err
+	}
+	j.notifyLocked()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// notifyLocked nudges every subscriber without blocking; a full buffer
+// means a wake-up is already pending, which is all a subscriber needs.
+func (j *Job) notifyLocked() {
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}

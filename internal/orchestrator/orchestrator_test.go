@@ -1,0 +1,196 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job stuck in %v, want %v", j.State(), want)
+}
+
+func TestLifecycleReady(t *testing.T) {
+	o := New(2)
+	j := o.Submit(context.Background(), "build", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		emit(Event{Stage: "frontend", Node: "head"})
+		emit(Event{Stage: "compute", Node: "c1"})
+		return "deployment", nil
+	})
+	result, err := j.Wait(context.Background())
+	if err != nil || result != "deployment" {
+		t.Fatalf("Wait = %v, %v", result, err)
+	}
+	if j.State() != StateReady {
+		t.Fatalf("state = %v, want ready", j.State())
+	}
+	if got, ok := j.Result(); !ok || got != "deployment" {
+		t.Fatalf("Result = %v, %v", got, ok)
+	}
+	evs, next := j.Events(0)
+	if len(evs) != 2 || next != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	o := New(1)
+	boom := errors.New("kickstart failed")
+	j := o.Submit(context.Background(), "build", 0, func(context.Context, func(Event) int) (any, error) {
+		return nil, boom
+	})
+	if _, err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v", err)
+	}
+	if j.State() != StateFailed || !errors.Is(j.Err(), boom) {
+		t.Fatalf("state %v err %v", j.State(), j.Err())
+	}
+	if _, ok := j.Result(); ok {
+		t.Fatal("failed job must not expose a result")
+	}
+}
+
+func TestPanicBecomesFailure(t *testing.T) {
+	o := New(1)
+	j := o.Submit(context.Background(), "build", 0, func(context.Context, func(Event) int) (any, error) {
+		panic("wild pointer")
+	})
+	if _, err := j.Wait(context.Background()); err == nil {
+		t.Fatal("panicking build must fail, not hang")
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state = %v, want failed", j.State())
+	}
+}
+
+// TestWorkerPoolBound proves the pool is a real bound: with one worker the
+// second job stays pending until the first finishes.
+func TestWorkerPoolBound(t *testing.T) {
+	o := New(1)
+	release := make(chan struct{})
+	first := o.Submit(context.Background(), "first", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		<-release
+		return nil, nil
+	})
+	waitState(t, first, StateBuilding)
+	second := o.Submit(context.Background(), "second", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		return nil, nil
+	})
+	time.Sleep(20 * time.Millisecond)
+	if got := second.State(); got != StatePending {
+		t.Fatalf("second job state = %v while worker busy, want pending", got)
+	}
+	close(release)
+	if _, err := second.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelWhilePending(t *testing.T) {
+	o := New(1)
+	release := make(chan struct{})
+	defer close(release)
+	blocker := o.Submit(context.Background(), "blocker", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		<-release
+		return nil, nil
+	})
+	waitState(t, blocker, StateBuilding)
+	queued := o.Submit(context.Background(), "queued", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		t.Error("cancelled-while-pending job must never run")
+		return nil, nil
+	})
+	queued.Cancel()
+	if _, err := queued.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if queued.State() != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", queued.State())
+	}
+}
+
+func TestCancelWhileBuilding(t *testing.T) {
+	o := New(1)
+	entered := make(chan struct{})
+	j := o.Submit(context.Background(), "build", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		close(entered)
+		<-ctx.Done() // a cooperative build stops at its next wave boundary
+		return nil, ctx.Err()
+	})
+	<-entered
+	j.Cancel()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v", err)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", j.State())
+	}
+}
+
+func TestParentContextCancels(t *testing.T) {
+	o := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := o.Submit(ctx, "build", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	waitState(t, j, StateBuilding)
+	cancel()
+	waitState(t, j, StateCancelled)
+}
+
+func TestWaitAbandonsWithoutCancelling(t *testing.T) {
+	o := New(1)
+	release := make(chan struct{})
+	j := o.Submit(context.Background(), "build", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		<-release
+		return 42, nil
+	})
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := j.Wait(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("short Wait = %v", err)
+	}
+	// The job itself is unaffected by the abandoned wait.
+	close(release)
+	if result, err := j.Wait(context.Background()); err != nil || result != 42 {
+		t.Fatalf("second Wait = %v, %v", result, err)
+	}
+}
+
+func TestSubscribeSeesProgressAndCompletion(t *testing.T) {
+	o := New(1)
+	step := make(chan struct{})
+	j := o.Submit(context.Background(), "build", 0, func(ctx context.Context, emit func(Event) int) (any, error) {
+		for i := 0; i < 3; i++ {
+			<-step
+			emit(Event{Stage: "compute"})
+		}
+		return nil, nil
+	})
+	ch, unsub := j.Subscribe()
+	defer unsub()
+	cursor, seen := 0, 0
+	for seen < 3 {
+		step <- struct{}{}
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("no wake-up after emit")
+		}
+		var evs []Event
+		evs, cursor = j.Events(cursor)
+		seen += len(evs)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,6 +48,17 @@ type Installer struct {
 	// Log accumulates a human-readable record of what happened; the training
 	// examples surface it as curriculum output.
 	Log []string
+
+	// Hook, when non-nil, runs at the start of every node install attempt
+	// (attempt numbering starts at 1). Returning an error fails the attempt
+	// before the node is touched; wave installs treat such failures as
+	// transient and retry with backoff. It is the seam for fault injection
+	// in tests and chaos runs.
+	Hook func(node string, attempt int) error
+
+	// Quarantined lists compute nodes that exhausted their retries during a
+	// wave build and were set aside instead of aborting the build.
+	Quarantined []string
 }
 
 // NewInstaller binds a cluster, frontend DB, and kickstart graph.
@@ -112,9 +123,23 @@ func (ins *Installer) DiscoverComputes() error {
 	return nil
 }
 
-// InstallCompute kickstarts one compute node. The frontend must already be
-// installed; the node must have a disk; the node must be registered.
-func (ins *Installer) InstallCompute(eng *sim.Engine, name string) (*Result, error) {
+// pendingInstall is a compute kickstart that has run its package
+// transaction but not yet been committed: post-install actions, the OS
+// marker, and the frontend-database installed flag all wait for commit.
+// Splitting the two phases lets a wave overlap many kickstarts in simulated
+// time and commit them together once the wave's clock advance is done.
+type pendingInstall struct {
+	node    *cluster.Node
+	name    string
+	pkgs    int
+	actions []string
+	cost    time.Duration
+}
+
+// kickstart validates and starts one compute install, leaving it pending.
+// The frontend must already be installed; the node must have a disk; the
+// node must be registered.
+func (ins *Installer) kickstart(name string) (*pendingInstall, error) {
 	if ins.Cluster.Frontend.OS() == "" {
 		return nil, fmt.Errorf("provision: frontend not installed; cannot kickstart %s", name)
 	}
@@ -129,7 +154,6 @@ func (ins *Installer) InstallCompute(eng *sim.Engine, name string) (*Result, err
 		return nil, fmt.Errorf("%w: node %s", ErrDiskless, name)
 	}
 	node.SetPower(cluster.PowerOn)
-	start := eng.Now()
 	pkgs := ins.DB.Distribution().PackagesFor(rocks.ApplianceCompute)
 	var tx rpm.Transaction
 	for _, p := range pkgs {
@@ -145,14 +169,38 @@ func (ins *Installer) InstallCompute(eng *sim.Engine, name string) (*Result, err
 	}
 	cost := StagePXEBoot + StagePartition + StageBaseImage + StagePostInstall +
 		time.Duration(len(pkgs))*PerPackage + time.Duration(len(actions))*PerAction
-	eng.RunUntil(eng.Now() + sim.Time(cost))
-	applyActions(node, actions)
-	node.SetOS(ins.OSName)
-	if err := ins.DB.MarkInstalled(name, true); err != nil {
+	return &pendingInstall{node: node, name: name, pkgs: len(pkgs), actions: actions, cost: cost}, nil
+}
+
+// commit finalizes a pending install. duration is the simulated time the
+// node's install consumed (for a wave member this includes failed-attempt
+// and backoff time, and the wave as a whole advanced the clock by its
+// slowest member).
+func (ins *Installer) commit(p *pendingInstall, duration time.Duration) (*Result, error) {
+	applyActions(p.node, p.actions)
+	p.node.SetOS(ins.OSName)
+	if err := ins.DB.MarkInstalled(p.name, true); err != nil {
 		return nil, err
 	}
-	ins.logf("compute %s kickstarted: %d packages in %v", name, len(pkgs), cost)
-	return &Result{Node: name, Packages: len(pkgs), Duration: (eng.Now() - start).Duration(), Actions: len(actions)}, nil
+	ins.logf("compute %s kickstarted: %d packages in %v", p.name, p.pkgs, p.cost)
+	return &Result{Node: p.name, Packages: p.pkgs, Duration: duration, Actions: len(p.actions)}, nil
+}
+
+// InstallCompute kickstarts one compute node sequentially: the simulation
+// clock advances by the full install cost before the next node can start.
+// Wave installs (InstallWave) overlap these costs instead.
+func (ins *Installer) InstallCompute(eng *sim.Engine, name string) (*Result, error) {
+	if ins.Hook != nil {
+		if err := ins.Hook(name, 1); err != nil {
+			return nil, fmt.Errorf("provision: %s install attempt failed: %w", name, err)
+		}
+	}
+	p, err := ins.kickstart(name)
+	if err != nil {
+		return nil, err
+	}
+	eng.RunUntil(eng.Now() + sim.Time(p.cost))
+	return ins.commit(p, p.cost)
 }
 
 // InstallAll provisions the frontend and then every compute node, returning

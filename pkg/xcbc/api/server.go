@@ -10,9 +10,17 @@
 //	GET    /api/v1/repos/{id}/packages[?name=...]
 //	POST   /api/v1/depsolve
 //	GET    /api/v1/deployments
-//	POST   /api/v1/deployments
-//	GET    /api/v1/deployments/{id}
-//	DELETE /api/v1/deployments/{id}
+//	POST   /api/v1/deployments              — 202 Accepted, build runs async
+//	GET    /api/v1/deployments/{id}[?cursor=N]
+//	GET    /api/v1/deployments/{id}/events  — Server-Sent Events stream
+//	DELETE /api/v1/deployments/{id}         — cancels an in-flight build
+//
+// Deployments are asynchronous jobs: POST validates the request, starts the
+// build on the SDK's worker pool, and returns immediately with the
+// deployment in state "building" (or "pending" when the pool is saturated).
+// Clients poll GET with the journal cursor from the previous response, or
+// attach to /events for a push stream; DELETE cancels an in-flight build
+// (the record stays for status inspection) and removes a terminal one.
 //
 // Legacy Yum routes, preserved verbatim:
 //
@@ -27,7 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -54,29 +64,41 @@ type Config struct {
 	Clock func() time.Time
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
+	// DeployOptions are prepended to every deployment build the server
+	// starts: operator defaults such as xcbc.WithParallelism, and the
+	// fault-injection seam (xcbc.WithInstallHook) for tests.
+	DeployOptions []xcbc.Option
 }
 
 // Server is the HTTP control plane. Create with New, serve via Handler
 // (for tests and embedding) or ListenAndServe (timeouts + graceful
 // shutdown included).
 type Server struct {
-	set     *repo.Set
-	clock   func() time.Time
-	logger  *log.Logger
-	handler http.Handler
+	set        *repo.Set
+	clock      func() time.Time
+	logger     *log.Logger
+	handler    http.Handler
+	deployOpts []xcbc.Option
+
+	// closing is closed when ListenAndServe begins graceful shutdown so
+	// long-lived streams (SSE) end promptly instead of pinning Shutdown
+	// against its drain deadline.
+	closing     chan struct{}
+	closingOnce sync.Once
 
 	mu          sync.RWMutex
 	deployments map[string]*deployment
 	nextID      int
 }
 
-// deployment is one SDK deployment managed by the server.
+// deployment is one SDK deployment managed by the server. The handle owns
+// all mutable build state (lifecycle state, capped event journal, result),
+// so the server never touches a build goroutine's data directly.
 type deployment struct {
 	ID      string
 	Path    string // "xcbc" or "xnit"
 	Created time.Time
-	D       *xcbc.Deployment
-	Events  []xcbc.Event
+	Handle  *xcbc.Handle
 }
 
 // New builds a server for the given configuration.
@@ -89,6 +111,8 @@ func New(cfg Config) *Server {
 		set:         repo.NewSet(),
 		clock:       clock,
 		logger:      cfg.Logger,
+		deployOpts:  cfg.DeployOptions,
+		closing:     make(chan struct{}),
 		deployments: make(map[string]*deployment),
 	}
 	for _, r := range cfg.Repos {
@@ -107,18 +131,20 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /api/v1/deployments", s.handleDeployments)
 	mux.HandleFunc("POST /api/v1/deployments", s.handleCreateDeployment)
 	mux.HandleFunc("GET /api/v1/deployments/{id}", s.handleDeployment)
+	mux.HandleFunc("GET /api/v1/deployments/{id}/events", s.handleDeploymentEvents)
 	mux.HandleFunc("DELETE /api/v1/deployments/{id}", s.handleDeleteDeployment)
 	// Method-less fallbacks: a known path with the wrong verb is 405 (with
 	// Allow), not 404. The method-specific patterns above are more
 	// specific, so they win for their verbs.
 	for path, allow := range map[string]string{
-		"/api/v1/healthz":             "GET",
-		"/api/v1/repos":               "GET",
-		"/api/v1/repos/{id}":          "GET",
-		"/api/v1/repos/{id}/packages": "GET",
-		"/api/v1/depsolve":            "POST",
-		"/api/v1/deployments":         "GET, POST",
-		"/api/v1/deployments/{id}":    "GET, DELETE",
+		"/api/v1/healthz":                 "GET",
+		"/api/v1/repos":                   "GET",
+		"/api/v1/repos/{id}":              "GET",
+		"/api/v1/repos/{id}/packages":     "GET",
+		"/api/v1/depsolve":                "POST",
+		"/api/v1/deployments":             "GET, POST",
+		"/api/v1/deployments/{id}":        "GET, DELETE",
+		"/api/v1/deployments/{id}/events": "GET",
 	} {
 		mux.HandleFunc(path, methodNotAllowed(allow))
 	}
@@ -158,6 +184,8 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Wake long-lived streams first so Shutdown's drain can finish.
+		s.closingOnce.Do(func() { close(s.closing) })
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -192,6 +220,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the wrapped writer so the SSE route can stream through
+// the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer through
+// the logging middleware — without it, the SSE route's write-deadline
+// clear silently fails and the server's WriteTimeout kills long streams.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -364,23 +405,32 @@ func (s *Server) handleDepsolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// deploymentInfo is the JSON shape of one managed deployment.
+// deploymentInfo is the JSON shape of one managed deployment. State is
+// always present; the build-result fields (scheduler, packages, compat,
+// install duration) are filled in once the deployment reaches "ready", and
+// Error once it is "failed" or "cancelled". Events carries the journal
+// slice requested via ?cursor=N, NextCursor the value to pass next time.
 type deploymentInfo struct {
 	ID                string      `json:"id"`
 	Path              string      `json:"path"`
+	State             string      `json:"state"`
+	Error             string      `json:"error,omitempty"`
 	Cluster           string      `json:"cluster"`
 	Site              string      `json:"site"`
 	Nodes             int         `json:"nodes"`
-	Scheduler         string      `json:"scheduler"`
-	PackagesInstalled int         `json:"packages_installed"`
-	InstallDuration   string      `json:"install_duration"`
-	CompatPassed      int         `json:"compat_passed"`
-	CompatTotal       int         `json:"compat_total"`
+	Scheduler         string      `json:"scheduler,omitempty"`
+	PackagesInstalled int         `json:"packages_installed,omitempty"`
+	InstallDuration   string      `json:"install_duration,omitempty"`
+	Quarantined       []string    `json:"quarantined,omitempty"`
+	CompatPassed      int         `json:"compat_passed,omitempty"`
+	CompatTotal       int         `json:"compat_total,omitempty"`
 	Created           time.Time   `json:"created"`
 	Events            []eventInfo `json:"events,omitempty"`
+	NextCursor        int         `json:"next_cursor"`
 }
 
 type eventInfo struct {
+	Seq      int    `json:"seq"`
 	Stage    string `json:"stage"`
 	Node     string `json:"node,omitempty"`
 	Message  string `json:"message,omitempty"`
@@ -388,31 +438,64 @@ type eventInfo struct {
 	Elapsed  string `json:"elapsed,omitempty"`
 }
 
-func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool) deploymentInfo {
-	d := dep.D
+func eventInfoOf(ev xcbc.Event) eventInfo {
+	return eventInfo{Seq: ev.Seq, Stage: ev.Stage, Node: ev.Node,
+		Message: ev.Message, Packages: ev.Packages, Elapsed: ev.Elapsed.String()}
+}
+
+func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool, cursor int) deploymentInfo {
+	h := dep.Handle
+	hw := h.Hardware()
 	info := deploymentInfo{
-		ID:                dep.ID,
-		Path:              dep.Path,
-		Cluster:           d.Hardware().Name,
-		Site:              d.Hardware().Site,
-		Nodes:             d.Hardware().NodeCount(),
-		Scheduler:         d.Scheduler(),
-		PackagesInstalled: d.PackagesInstalled(),
-		InstallDuration:   d.InstallDuration().String(),
-		Created:           dep.Created,
+		ID:      dep.ID,
+		Path:    dep.Path,
+		State:   string(h.Status()),
+		Cluster: hw.Name,
+		Site:    hw.Site,
+		Nodes:   hw.NodeCount(),
+		Created: dep.Created,
 	}
-	if compat, err := d.Compat(); err == nil {
-		info.CompatPassed = compat.Passed
-		info.CompatTotal = compat.Total
+	if err := h.Err(); err != nil {
+		info.Error = err.Error()
 	}
-	if withEvents {
-		info.Events = make([]eventInfo, 0, len(dep.Events))
-		for _, ev := range dep.Events {
-			info.Events = append(info.Events, eventInfo{Stage: ev.Stage, Node: ev.Node,
-				Message: ev.Message, Packages: ev.Packages, Elapsed: ev.Elapsed.String()})
+	if d, ok := h.Deployment(); ok {
+		info.Scheduler = d.Scheduler()
+		info.PackagesInstalled = d.PackagesInstalled()
+		info.InstallDuration = d.InstallDuration().String()
+		info.Quarantined = d.Quarantined()
+		if compat, err := d.Compat(); err == nil {
+			info.CompatPassed = compat.Passed
+			info.CompatTotal = compat.Total
 		}
 	}
+	if withEvents {
+		evs, next := h.Events(cursor)
+		info.Events = make([]eventInfo, 0, len(evs))
+		for _, ev := range evs {
+			info.Events = append(info.Events, eventInfoOf(ev))
+		}
+		info.NextCursor = next
+	} else {
+		// Event-less bodies (list, DELETE-cancel) still report the journal
+		// tip so "pass next_cursor back" holds on every response.
+		_, info.NextCursor = h.Events(math.MaxInt)
+	}
 	return info
+}
+
+// parseCursor reads the optional ?cursor query parameter (default 0); a
+// malformed or negative value is an error, reported the same way on the
+// polling and SSE routes.
+func parseCursor(r *http.Request) (int, error) {
+	c := r.URL.Query().Get("cursor")
+	if c == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(c)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("cursor must be a non-negative integer")
+	}
+	return n, nil
 }
 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
@@ -420,30 +503,35 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	out := make([]deploymentInfo, 0, len(s.deployments))
 	for _, dep := range s.deployments {
-		out = append(out, s.deploymentInfoOf(dep, false))
+		out = append(out, s.deploymentInfoOf(dep, false, 0))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
 }
 
 // createDeploymentRequest provisions a new cluster through the SDK.
 type createDeploymentRequest struct {
-	Cluster   string   `json:"cluster"`
-	Path      string   `json:"path"` // "xcbc" (default) or "xnit"
-	Scheduler string   `json:"scheduler"`
-	Rolls     []string `json:"rolls"`
-	Profiles  []string `json:"profiles"`
-	NodeCount int      `json:"node_count"`
+	Cluster     string   `json:"cluster"`
+	Path        string   `json:"path"` // "xcbc" (default) or "xnit"
+	Scheduler   string   `json:"scheduler"`
+	Rolls       []string `json:"rolls"`
+	Profiles    []string `json:"profiles"`
+	NodeCount   int      `json:"node_count"`
+	Parallelism int      `json:"parallelism"` // compute-install wave width
+	Retries     int      `json:"retries"`     // per-node retry budget
 }
 
+// handleCreateDeployment validates the request synchronously (bad names,
+// impossible hardware, and option errors keep their 4xx statuses), then
+// starts the build asynchronously and answers 202 Accepted with the
+// deployment in its initial lifecycle state. Clients follow up via GET
+// polling or the /events stream.
 func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) {
 	var req createDeploymentRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	var events []xcbc.Event
-	progress := xcbc.WithProgress(func(ev xcbc.Event) { events = append(events, ev) })
-	hwOpts := []xcbc.Option{progress}
+	hwOpts := append([]xcbc.Option{}, s.deployOpts...)
 	if req.Cluster != "" {
 		hwOpts = append(hwOpts, xcbc.WithCluster(req.Cluster))
 	}
@@ -451,12 +539,14 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		hwOpts = append(hwOpts, xcbc.WithNodeCount(req.NodeCount))
 	}
 
-	var d *xcbc.Deployment
+	var h *xcbc.Handle
 	var err error
 	path := req.Path
 	if path == "" {
 		path = "xcbc"
 	}
+	// The build must outlive this request: it is detached from r.Context()
+	// and cancelled only through DELETE (or server policy).
 	switch path {
 	case "xcbc":
 		if len(req.Profiles) > 0 {
@@ -470,20 +560,33 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		if req.Rolls != nil {
 			opts = append(opts, xcbc.WithRolls(req.Rolls...))
 		}
-		d, err = xcbc.NewXCBC(opts...).Deploy(r.Context())
+		if req.Parallelism != 0 {
+			opts = append(opts, xcbc.WithParallelism(req.Parallelism))
+		}
+		if req.Retries != 0 {
+			opts = append(opts, xcbc.WithRetries(req.Retries))
+		}
+		h, err = xcbc.NewXCBC(opts...).Start(context.Background())
 	case "xnit":
 		if req.Rolls != nil {
 			writeError(w, http.StatusBadRequest, "rolls are an XCBC option; the xnit path uses profiles")
 			return
 		}
-		xnitOpts := []xcbc.Option{progress, xcbc.WithProfiles(req.Profiles...)}
+		if req.Parallelism != 0 || req.Retries != 0 {
+			writeError(w, http.StatusBadRequest, "parallelism and retries apply to the xcbc kickstart path only")
+			return
+		}
+		xnitOpts := append(append([]xcbc.Option{}, s.deployOpts...), xcbc.WithProfiles(req.Profiles...))
 		if req.Scheduler != "" {
 			xnitOpts = append(xnitOpts, xcbc.WithScheduler(req.Scheduler))
 		}
+		// The vendor hardware arrives provisioned (it is the machine's ship
+		// state), so that leg runs synchronously; the XNIT adoption is the
+		// long-running build and goes async.
 		var vendor *xcbc.Deployment
-		vendor, err = xcbc.NewVendor(hwOpts...).Deploy(r.Context())
+		vendor, err = xcbc.NewVendor(hwOpts...).Deploy(context.Background())
 		if err == nil {
-			d, err = xcbc.NewXNIT(vendor, xnitOpts...).Deploy(r.Context())
+			h, err = xcbc.NewXNIT(vendor, xnitOpts...).Start(context.Background())
 		}
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown path %q (use xcbc or xnit)", path))
@@ -500,12 +603,11 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		ID:      fmt.Sprintf("d%d", s.nextID),
 		Path:    path,
 		Created: s.clock(),
-		D:       d,
-		Events:  events,
+		Handle:  h,
 	}
 	s.deployments[dep.ID] = dep
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, s.deploymentInfoOf(dep, true))
+	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, true, 0))
 }
 
 // deployErrorStatus maps SDK sentinel errors onto HTTP statuses: bad names
@@ -518,7 +620,8 @@ func deployErrorStatus(err error) int {
 		errors.Is(err, xcbc.ErrUnknownRoll),
 		errors.Is(err, xcbc.ErrUnknownProfile),
 		errors.Is(err, xcbc.ErrUnknownPowerPolicy),
-		errors.Is(err, xcbc.ErrBadNodeCount):
+		errors.Is(err, xcbc.ErrBadNodeCount),
+		errors.Is(err, xcbc.ErrBadOption):
 		return http.StatusBadRequest
 	case errors.Is(err, xcbc.ErrDiskless),
 		errors.Is(err, xcbc.ErrDepCycle),
@@ -532,26 +635,113 @@ func deployErrorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
+func (s *Server) lookupDeployment(id string) (*deployment, bool) {
 	s.mu.RLock()
-	dep, ok := s.deployments[r.PathValue("id")]
+	dep, ok := s.deployments[id]
 	s.mu.RUnlock()
+	return dep, ok
+}
+
+// handleDeployment reports status. ?cursor=N (default 0) selects which
+// journal events ride along; clients poll by passing back next_cursor.
+func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
+	dep, ok := s.lookupDeployment(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.deploymentInfoOf(dep, true))
+	cursor, err := parseCursor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.deploymentInfoOf(dep, true, cursor))
 }
 
+// handleDeploymentEvents streams the journal as Server-Sent Events: one
+// `data:` line per event (the eventInfo JSON), then a terminal
+// `event: state` frame once the deployment settles, after which the stream
+// closes. ?cursor=N resumes mid-journal.
+func (s *Server) handleDeploymentEvents(w http.ResponseWriter, r *http.Request) {
+	dep, ok := s.lookupDeployment(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	cursor, err := parseCursor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h := dep.Handle
+	// The stream must outlive the server's WriteTimeout (set against
+	// slow-loris clients, not long-lived push streams): clear the write
+	// deadline for this response only.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	wake, unsubscribe := h.Subscribe()
+	defer unsubscribe()
+	writeEvents := func() {
+		var evs []xcbc.Event
+		evs, cursor = h.Events(cursor)
+		for _, ev := range evs {
+			payload, _ := json.Marshal(eventInfoOf(ev))
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+	}
+	for {
+		writeEvents()
+		if st := h.Status(); st.Terminal() {
+			writeEvents() // drain anything emitted between read and check
+			final := map[string]string{"state": string(st)}
+			if err := h.Err(); err != nil {
+				final["error"] = err.Error()
+			}
+			payload, _ := json.Marshal(final)
+			fmt.Fprintf(w, "event: state\ndata: %s\n\n", payload)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-h.Done():
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+	}
+}
+
+// handleDeleteDeployment cancels or removes. An in-flight build is
+// cancelled — 202 Accepted, the record stays so the cancellation can be
+// observed settling — while a terminal deployment is removed (204).
 func (s *Server) handleDeleteDeployment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.deployments[id]
-	delete(s.deployments, id)
+	dep, ok := s.deployments[id]
+	if ok && dep.Handle.Status().Terminal() {
+		delete(s.deployments, id)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment")
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	dep.Handle.Cancel()
+	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, false, 0))
 }

@@ -1,9 +1,12 @@
 package api
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -68,12 +71,20 @@ func TestRouteStatusCodes(t *testing.T) {
 		{"PUT", "/api/v1/deployments", "", 405},
 		{"GET", "/api/v1/deployments", "", 200},
 		{"GET", "/api/v1/deployments/nosuch", "", 404},
+		{"GET", "/api/v1/deployments/nosuch/events", "", 404},
+		{"POST", "/api/v1/deployments/nosuch/events", "", 405},
 		{"DELETE", "/api/v1/deployments/nosuch", "", 404},
+		// Requests that cannot possibly build fail synchronously, before
+		// any async job starts.
 		{"POST", "/api/v1/deployments", `{"cluster":"atlantis"}`, 400},
 		{"POST", "/api/v1/deployments", `{"cluster":"littlefe-original"}`, 422},
 		{"POST", "/api/v1/deployments", `{"path":"teleport"}`, 400},
 		{"POST", "/api/v1/deployments", `{"path":"xcbc","profiles":["bio"]}`, 400},
 		{"POST", "/api/v1/deployments", `{"path":"xnit","rolls":["hpc"]}`, 400},
+		{"POST", "/api/v1/deployments", `{"cluster":"limulus","path":"xnit","parallelism":4}`, 400},
+		{"POST", "/api/v1/deployments", `{"cluster":"limulus","path":"xnit","retries":2}`, 400},
+		{"POST", "/api/v1/deployments", `{"parallelism":-2}`, 400},
+		{"POST", "/api/v1/deployments", `{"retries":-1}`, 400},
 		{"GET", "/api/v2/repos", "", 404},
 		{"GET", "/api/", "", 404},
 		// Legacy Yum surface, preserved.
@@ -168,31 +179,96 @@ func TestDepsolve(t *testing.T) {
 	}
 }
 
+// pollDeployment polls GET until the deployment reaches a terminal state,
+// following the journal cursor as a real client would, and returns the
+// final info plus every event collected along the way.
+func pollDeployment(t *testing.T, s *Server, id string) (deploymentInfo, []eventInfo) {
+	t.Helper()
+	cursor := 0
+	var events []eventInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var info deploymentInfo
+		rec := do(t, s, "GET", fmt.Sprintf("/api/v1/deployments/%s?cursor=%d", id, cursor), "", &info)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll: %d %s", rec.Code, rec.Body.String())
+		}
+		events = append(events, info.Events...)
+		if info.NextCursor < cursor {
+			t.Fatalf("cursor went backwards: %d -> %d", cursor, info.NextCursor)
+		}
+		cursor = info.NextCursor
+		switch info.State {
+		case "ready", "failed", "cancelled":
+			return info, events
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deployment %s stuck in %q", id, info.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestDeploymentLifecycle(t *testing.T) {
-	s := newTestServer(t)
+	// Gate the first compute install so the build provably cannot reach a
+	// terminal state before the 202-body assertions run (the build is only
+	// milliseconds of wall clock otherwise).
+	gate := make(chan struct{})
+	var once sync.Once
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Repos: []*repo.Repository{xnit},
+		DeployOptions: []xcbc.Option{xcbc.WithInstallHook(func(node string, attempt int) error {
+			<-gate
+			return nil
+		})},
+	})
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+
 	var created deploymentInfo
 	rec := do(t, s, "POST", "/api/v1/deployments",
-		`{"cluster":"littlefe","scheduler":"torque","rolls":["ganglia","hpc"]}`, &created)
-	if rec.Code != http.StatusCreated {
+		`{"cluster":"littlefe","scheduler":"torque","rolls":["ganglia","hpc"],"parallelism":2}`, &created)
+	if rec.Code != http.StatusAccepted {
 		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
 	}
-	if created.ID == "" || created.Scheduler != "torque" || created.Nodes != 6 ||
-		created.PackagesInstalled == 0 || created.CompatTotal == 0 {
+	if created.ID == "" || created.Cluster != "LittleFe" || created.Nodes != 6 {
 		t.Fatalf("created = %+v", created)
 	}
-	if len(created.Events) == 0 {
-		t.Error("no progress events recorded")
+	if created.State != "building" && created.State != "pending" {
+		t.Fatalf("created state = %q, want building or pending", created.State)
+	}
+	if created.PackagesInstalled != 0 || created.Scheduler != "" {
+		t.Errorf("202 body leaked build results: %+v", created)
 	}
 
-	// XNIT path on the diskless Limulus.
+	release()
+	final, events := pollDeployment(t, s, created.ID)
+	if final.State != "ready" || final.Scheduler != "torque" ||
+		final.PackagesInstalled == 0 || final.CompatTotal == 0 || final.InstallDuration == "" {
+		t.Fatalf("final = %+v", final)
+	}
+	stages := map[string]int{}
+	for _, ev := range events {
+		stages[ev.Stage]++
+	}
+	if stages["frontend"] != 1 || stages["compute"] != 5 || stages["subsystems"] != 1 {
+		t.Errorf("event stages = %v", stages)
+	}
+
+	// XNIT path on the diskless Limulus, also async.
 	var adopted deploymentInfo
 	rec = do(t, s, "POST", "/api/v1/deployments",
 		`{"cluster":"limulus","path":"xnit","scheduler":"torque","profiles":["compilers"]}`, &adopted)
-	if rec.Code != http.StatusCreated {
+	if rec.Code != http.StatusAccepted {
 		t.Fatalf("adopt: %d %s", rec.Code, rec.Body.String())
 	}
-	if adopted.Path != "xnit" || adopted.Scheduler != "torque" {
-		t.Fatalf("adopted = %+v", adopted)
+	adoptedFinal, _ := pollDeployment(t, s, adopted.ID)
+	if adoptedFinal.Path != "xnit" || adoptedFinal.State != "ready" || adoptedFinal.Scheduler != "torque" {
+		t.Fatalf("adopted = %+v", adoptedFinal)
 	}
 
 	var list struct {
@@ -203,17 +279,160 @@ func TestDeploymentLifecycle(t *testing.T) {
 		t.Fatalf("list = %d deployments, want 2", len(list.Deployments))
 	}
 
-	var got deploymentInfo
-	do(t, s, "GET", "/api/v1/deployments/"+created.ID, "", &got)
-	if got.ID != created.ID || got.Cluster != created.Cluster {
-		t.Errorf("get = %+v, want %+v", got, created)
-	}
-
+	// DELETE on a terminal deployment removes it.
 	if rec := do(t, s, "DELETE", "/api/v1/deployments/"+created.ID, "", nil); rec.Code != http.StatusNoContent {
 		t.Fatalf("delete: %d", rec.Code)
 	}
 	if rec := do(t, s, "GET", "/api/v1/deployments/"+created.ID, "", nil); rec.Code != http.StatusNotFound {
 		t.Errorf("get after delete: %d, want 404", rec.Code)
+	}
+}
+
+// TestDeploymentCancel exercises the in-flight DELETE contract: the build
+// is gated via the install hook, cancelled while building, and observed
+// settling into "cancelled"; a second DELETE then removes the record.
+func TestDeploymentCancel(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Repos: []*repo.Repository{xnit},
+		DeployOptions: []xcbc.Option{xcbc.WithInstallHook(func(node string, attempt int) error {
+			if node == "compute-0-3" {
+				once.Do(func() { close(entered) })
+				<-gate
+			}
+			return nil
+		})},
+	})
+	var created deploymentInfo
+	rec := do(t, s, "POST", "/api/v1/deployments", `{"cluster":"littlefe","parallelism":2}`, &created)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	<-entered // the build is now provably in flight, blocked in wave 2
+
+	var info deploymentInfo
+	do(t, s, "GET", "/api/v1/deployments/"+created.ID, "", &info)
+	if info.State != "building" {
+		t.Fatalf("state mid-build = %q", info.State)
+	}
+
+	rec = do(t, s, "DELETE", "/api/v1/deployments/"+created.ID, "", &info)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cancel: %d %s", rec.Code, rec.Body.String())
+	}
+	close(gate) // let the gated wave finish; the build then observes cancellation
+	final, _ := pollDeployment(t, s, created.ID)
+	if final.State != "cancelled" || final.Error == "" {
+		t.Fatalf("final = %+v", final)
+	}
+	if rec := do(t, s, "DELETE", "/api/v1/deployments/"+created.ID, "", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete after cancel: %d", rec.Code)
+	}
+}
+
+// TestDeploymentEventsSSE reads the /events stream over a real HTTP server:
+// journal frames arrive as `data:` lines and the stream closes with a
+// terminal `event: state` frame.
+func TestDeploymentEventsSSE(t *testing.T) {
+	s := newTestServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/v1/deployments", "application/json",
+		strings.NewReader(`{"cluster":"littlefe","parallelism":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created deploymentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(srv.URL + "/api/v1/deployments/" + created.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var dataFrames int
+	var terminal string
+	scanner := bufio.NewScanner(stream.Body)
+	expectState := false
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "event: state":
+			expectState = true
+		case strings.HasPrefix(line, "data: ") && expectState:
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				t.Fatal(err)
+			}
+			terminal = st.State
+		case strings.HasPrefix(line, "data: "):
+			var ev eventInfo
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad event frame %q: %v", line, err)
+			}
+			dataFrames++
+		}
+	}
+	if terminal != "ready" {
+		t.Fatalf("terminal state frame = %q, want ready", terminal)
+	}
+	if dataFrames < 7 { // distribution, frontend, 5 computes at least
+		t.Errorf("streamed %d events", dataFrames)
+	}
+}
+
+// TestDeploymentStatusRace hammers status/event reads while a build is
+// emitting journal entries — the regression test, under -race, for the
+// unguarded Events slice the server used to append to from the build
+// goroutine.
+func TestDeploymentStatusRace(t *testing.T) {
+	s := newTestServer(t)
+	var created deploymentInfo
+	rec := do(t, s, "POST", "/api/v1/deployments",
+		`{"cluster":"littlefe","node_count":24,"parallelism":2}`, &created)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest("GET", "/api/v1/deployments/"+created.ID, nil)
+				s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}()
+	}
+	final, _ := pollDeployment(t, s, created.ID)
+	close(stop)
+	wg.Wait()
+	if final.State != "ready" || final.Nodes != 25 {
+		t.Fatalf("final = %+v", final)
 	}
 }
 
@@ -372,5 +591,73 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestGracefulShutdownWithSSEWatcher proves a client parked on the /events
+// stream of a non-terminal build cannot pin graceful shutdown past its
+// drain deadline: the stream is woken and closed when shutdown begins.
+func TestGracefulShutdownWithSSEWatcher(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Repos: []*repo.Repository{xnit},
+		DeployOptions: []xcbc.Option{xcbc.WithInstallHook(func(string, int) error {
+			<-gate // hold the build in flight for the whole test
+			return nil
+		})},
+	})
+	lc := net.ListenConfig{}
+	ln, err := lc.Listen(context.Background(), "tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, addr) }()
+	waitUp := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := http.Get("http://" + addr + "/api/v1/healthz"); err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(waitUp) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Post("http://"+addr+"/api/v1/deployments", "application/json",
+		strings.NewReader(`{"cluster":"littlefe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created deploymentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get("http://" + addr + "/api/v1/deployments/" + created.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	go io.Copy(io.Discard, stream.Body) // park a watcher on the live stream
+
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown with SSE watcher returned %v, want nil", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("server did not shut down while an SSE watcher was attached")
 	}
 }

@@ -4,28 +4,59 @@ import (
 	"context"
 	"fmt"
 
+	"xcbc/internal/cluster"
 	"xcbc/internal/core"
 	"xcbc/internal/provision"
 	"xcbc/internal/rpm"
 )
 
-// Builder deploys a cluster. Deploy may take a long (simulated) time; it
-// reports progress through WithProgress and honors cancellation between
-// node installs.
+// Builder deploys a cluster. Start validates the request synchronously,
+// then runs the build as an asynchronous job on a bounded worker pool and
+// returns a Handle for polling, event streaming, and cancellation. Deploy
+// is the synchronous convenience wrapper: Start plus Wait.
+//
+// Builds honor cancellation between provisioning waves; progress reaches
+// both the Handle's journal and any WithProgress callback.
 type Builder interface {
+	Start(ctx context.Context) (*Handle, error)
 	Deploy(ctx context.Context) (*Deployment, error)
+}
+
+// deploy runs the synchronous path shared by all builders. On ctx
+// cancellation it does not just abandon the wait: the job's context
+// derives from ctx so the build is already stopping, and deploy blocks
+// until it actually has — the seed contract, and what lets callers reuse
+// a shared engine (WithEngine) the moment Deploy returns.
+func deploy(ctx context.Context, b Builder) (*Deployment, error) {
+	h, err := b.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d, err := h.Wait(ctx)
+	if err == nil {
+		return d, nil
+	}
+	<-h.Done() // no-op when the error was the job's own terminal failure
+	if jerr := h.Err(); jerr != nil {
+		return nil, jerr
+	}
+	if d, ok := h.Deployment(); ok {
+		return d, nil
+	}
+	return nil, err
 }
 
 // NewXCBC returns a builder for the bare-metal path: assemble the Rocks
 // distribution with the XSEDE roll, install the frontend, kickstart every
-// compute node, and start the subsystems — "all at once, from scratch".
+// compute node in waves of WithParallelism overlapping installs, and start
+// the subsystems — "all at once, from scratch".
 func NewXCBC(opts ...Option) Builder {
 	return &xcbcBuilder{cfg: newConfig(opts)}
 }
 
 type xcbcBuilder struct{ cfg *config }
 
-func (b *xcbcBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+func (b *xcbcBuilder) Start(ctx context.Context) (*Handle, error) {
 	cfg := b.cfg
 	if cfg.err != nil {
 		return nil, cfg.err
@@ -52,22 +83,41 @@ func (b *xcbcBuilder) Deploy(ctx context.Context) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pre-flight the Rocks diskless constraint synchronously so an
+	// impossible request fails at Start, not minutes into an async build.
+	if err := core.PreflightXCBC(hw); err != nil {
+		return nil, translate(err)
+	}
+	eng := cfg.resolveEngine()
 	// Always pass a non-nil slice: core treats nil OptionalRolls as "use
 	// defaults", but WithRolls() with no names means "no optional rolls".
-	d, err := core.BuildXCBCContext(ctx, cfg.resolveEngine(), hw, core.Options{
+	opts := core.Options{
 		Scheduler:       scheduler,
 		OptionalRolls:   append(make([]string, 0, len(rolls)), rolls...),
 		PowerPolicy:     policy,
 		MonitorInterval: cfg.monitorInterval,
-		Progress: func(ev core.BuildEvent) {
-			cfg.emit(Event{Stage: ev.Stage, Node: ev.Node, Message: ev.Message,
-				Packages: ev.Packages, Elapsed: ev.Elapsed})
-		},
-	})
-	if err != nil {
-		return nil, translate(err)
+		Parallelism:     cfg.parallelism,
+		Retries:         cfg.retries,
+		InstallHook:     cfg.installHook,
 	}
-	return &Deployment{core: d}, nil
+	return start(ctx, "xcbc/"+hw.Name, hw, func(jctx context.Context, emit func(Event) int) (*Deployment, error) {
+		o := opts
+		o.Progress = func(ev core.BuildEvent) {
+			out := Event{Stage: ev.Stage, Node: ev.Node, Message: ev.Message,
+				Packages: ev.Packages, Elapsed: ev.Elapsed}
+			out.Seq = emit(out)
+			cfg.emit(out)
+		}
+		d, err := core.BuildXCBCContext(jctx, eng, hw, o)
+		if err != nil {
+			return nil, translate(err)
+		}
+		return &Deployment{core: d}, nil
+	}), nil
+}
+
+func (b *xcbcBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	return deploy(ctx, b)
 }
 
 // NewVendor returns a builder for a vendor-managed machine: the OS and a
@@ -90,51 +140,79 @@ func defaultBasePackages() []*rpm.Package {
 	}
 }
 
-func (b *vendorBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+// prepare validates the vendor request and returns the build function.
+// The vendor "build" is the machine's ship state — one engine advance, no
+// per-node kickstarts — so unlike the XCBC path it is cheap enough to run
+// either inline (Deploy) or as a job (Start).
+func (b *vendorBuilder) prepare() (*cluster.Cluster, func(ctx context.Context, emit func(Event) int) (*Deployment, error), error) {
 	cfg := b.cfg
 	if cfg.err != nil {
-		return nil, cfg.err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, cfg.err
 	}
 	if cfg.schedulerSet && cfg.scheduler != "" {
 		if err := checkScheduler(cfg.scheduler); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	policy, err := cfg.powerPolicy.internal()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hw, err := cfg.resolveHardware()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	eng := cfg.resolveEngine()
 	osName := cfg.vendorOS
 	if osName == "" {
 		osName = "Scientific Linux 6.5"
 	}
-	if !cfg.preProvisioned {
-		base := cfg.basePackages
-		if base == nil {
-			base = defaultBasePackages()
+	build := func(ctx context.Context, emit func(Event) int) (*Deployment, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if err := provision.VendorProvision(eng, hw, osName, base); err != nil {
+		if !cfg.preProvisioned {
+			base := cfg.basePackages
+			if base == nil {
+				base = defaultBasePackages()
+			}
+			if err := provision.VendorProvision(eng, hw, osName, base); err != nil {
+				return nil, translate(err)
+			}
+			ev := Event{Stage: "vendor", Packages: len(base) * hw.NodeCount(),
+				Message: fmt.Sprintf("vendor tooling installed %s on %d nodes", osName, hw.NodeCount())}
+			ev.Seq = emit(ev)
+			cfg.emit(ev)
+		}
+		d, err := core.NewVendorDeployment(eng, hw, cfg.scheduler, core.Options{
+			PowerPolicy:     policy,
+			MonitorInterval: cfg.monitorInterval,
+		})
+		if err != nil {
 			return nil, translate(err)
 		}
-		cfg.emit(Event{Stage: "vendor", Packages: len(base) * hw.NodeCount(),
-			Message: fmt.Sprintf("vendor tooling installed %s on %d nodes", osName, hw.NodeCount())})
+		return &Deployment{core: d}, nil
 	}
-	d, err := core.NewVendorDeployment(eng, hw, cfg.scheduler, core.Options{
-		PowerPolicy:     policy,
-		MonitorInterval: cfg.monitorInterval,
-	})
+	return hw, build, nil
+}
+
+func (b *vendorBuilder) Start(ctx context.Context) (*Handle, error) {
+	hw, build, err := b.prepare()
 	if err != nil {
-		return nil, translate(err)
+		return nil, err
 	}
-	return &Deployment{core: d}, nil
+	return start(ctx, "vendor/"+hw.Name, hw, build), nil
+}
+
+// Deploy runs the vendor build inline, without occupying a worker slot, so
+// callers composing it with async builds (the control plane's xnit path)
+// cannot deadlock against a saturated pool.
+func (b *vendorBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	_, build, err := b.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return build(ctx, func(ev Event) int { return ev.Seq })
 }
 
 // NewXNIT returns a builder that converts an existing deployment in place:
@@ -151,7 +229,7 @@ type xnitBuilder struct {
 	cfg      *config
 }
 
-func (b *xnitBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+func (b *xnitBuilder) Start(ctx context.Context) (*Handle, error) {
 	cfg := b.cfg
 	d := b.existing
 	if cfg.err != nil {
@@ -168,50 +246,60 @@ func (b *xnitBuilder) Deploy(ctx context.Context) (*Deployment, error) {
 	if err := checkProfiles(cfg.profiles); err != nil {
 		return nil, err
 	}
-	// Idempotent repo configuration: a retry after a failed or cancelled
-	// adoption must not duplicate the xsede entry.
-	xnit := d.core.Repos.Lookup(XNITRepoID)
-	if xnit == nil {
-		var err error
-		xnit, err = core.NewXNITRepository()
-		if err != nil {
-			return nil, translate(err)
+	return start(ctx, "xnit/"+d.core.Cluster.Name, d.core.Cluster, func(jctx context.Context, emit func(Event) int) (*Deployment, error) {
+		record := func(ev Event) {
+			ev.Seq = emit(ev)
+			cfg.emit(ev)
 		}
-		core.ConfigureXNIT(d.core, xnit)
-	}
-	cfg.emit(Event{Stage: "repo", Packages: xnit.Len(),
-		Message: fmt.Sprintf("configured %s repository at priority %d", XNITRepoID, XNITPriority)})
-	for _, profile := range cfg.profiles {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before profile %s: %w", profile, err)
+		// Idempotent repo configuration: a retry after a failed or cancelled
+		// adoption must not duplicate the xsede entry.
+		xnit := d.core.Repos.Lookup(XNITRepoID)
+		if xnit == nil {
+			var err error
+			xnit, err = core.NewXNITRepository()
+			if err != nil {
+				return nil, translate(err)
+			}
+			core.ConfigureXNIT(d.core, xnit)
 		}
-		n, err := d.core.InstallProfile(profile)
-		if err != nil {
-			return nil, translate(err)
+		record(Event{Stage: "repo", Packages: xnit.Len(),
+			Message: fmt.Sprintf("configured %s repository at priority %d", XNITRepoID, XNITPriority)})
+		for _, profile := range cfg.profiles {
+			if err := jctx.Err(); err != nil {
+				return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before profile %s: %w", profile, err)
+			}
+			n, err := d.core.InstallProfile(profile)
+			if err != nil {
+				return nil, translate(err)
+			}
+			record(Event{Stage: "profile", Packages: n,
+				Message: fmt.Sprintf("installed profile %s cluster-wide", profile)})
 		}
-		cfg.emit(Event{Stage: "profile", Packages: n,
-			Message: fmt.Sprintf("installed profile %s cluster-wide", profile)})
-	}
-	if cfg.schedulerSet && cfg.scheduler != "" && cfg.scheduler != d.core.Scheduler {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before scheduler change: %w", err)
+		if cfg.schedulerSet && cfg.scheduler != "" && cfg.scheduler != d.core.Scheduler {
+			if err := jctx.Err(); err != nil {
+				return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before scheduler change: %w", err)
+			}
+			if err := d.ChangeScheduler(cfg.scheduler); err != nil {
+				return nil, err
+			}
+			record(Event{Stage: "scheduler",
+				Message: fmt.Sprintf("scheduler changed to %s", cfg.scheduler)})
 		}
-		if err := d.ChangeScheduler(cfg.scheduler); err != nil {
-			return nil, err
+		if len(cfg.packages) > 0 {
+			if err := jctx.Err(); err != nil {
+				return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before package installs: %w", err)
+			}
+			n, err := d.InstallPackages(cfg.packages...)
+			if err != nil {
+				return nil, err
+			}
+			record(Event{Stage: "packages", Packages: n,
+				Message: fmt.Sprintf("installed %d requested packages cluster-wide", n)})
 		}
-		cfg.emit(Event{Stage: "scheduler",
-			Message: fmt.Sprintf("scheduler changed to %s", cfg.scheduler)})
-	}
-	if len(cfg.packages) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("xcbc: XNIT adoption cancelled before package installs: %w", err)
-		}
-		n, err := d.InstallPackages(cfg.packages...)
-		if err != nil {
-			return nil, err
-		}
-		cfg.emit(Event{Stage: "packages", Packages: n,
-			Message: fmt.Sprintf("installed %d requested packages cluster-wide", n)})
-	}
-	return d, nil
+		return d, nil
+	}), nil
+}
+
+func (b *xnitBuilder) Deploy(ctx context.Context) (*Deployment, error) {
+	return deploy(ctx, b)
 }

@@ -38,6 +38,13 @@ func (d *Deployment) PackagesInstalled() int { return d.core.PackagesInstalled }
 // InstallDuration is the simulated time the initial build consumed.
 func (d *Deployment) InstallDuration() time.Duration { return d.core.InstallDuration }
 
+// Quarantined lists compute nodes that exhausted their install retries and
+// were set aside during the build; they remain in the hardware description
+// but carry no OS. Empty on a clean build.
+func (d *Deployment) Quarantined() []string {
+	return append([]string(nil), d.core.Quarantined...)
+}
+
 // InstallLog returns the provisioning log, empty on the vendor path.
 func (d *Deployment) InstallLog() []string {
 	if d.core.Installer == nil {

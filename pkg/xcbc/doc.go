@@ -20,10 +20,29 @@
 //	        xcbc.WithScheduler("torque"),
 //	).Deploy(ctx)
 //
-// adopts an existing vendor-managed machine in place. Long builds report
-// per-step progress through WithProgress and honor context cancellation
-// between node installs. Failures wrap the package's sentinel errors
-// (ErrUnknownRoll, ErrDepCycle, ...) so callers can branch with errors.Is.
+// adopts an existing vendor-managed machine in place.
+//
+// Deploy blocks; Start is the asynchronous surface. It validates the
+// request synchronously, then runs the build as a job on a bounded worker
+// pool and returns a Handle immediately:
+//
+//	h, err := xcbc.NewXCBC(
+//	        xcbc.WithCluster("littlefe"),
+//	        xcbc.WithParallelism(8), // 8 overlapping kickstarts per wave
+//	        xcbc.WithRetries(1),     // retry a failed node once, then quarantine
+//	).Start(ctx)
+//	...
+//	events, cursor := h.Events(0) // capped journal, cursor-resumable
+//	d, err := h.Wait(ctx)         // or h.Cancel(); h.Status()
+//
+// Compute nodes kickstart in waves of WithParallelism overlapping
+// installs (a wave's simulated cost is its slowest member, not the sum);
+// failed nodes retry with backoff and are quarantined rather than
+// aborting the build (Deployment.Quarantined). Cancellation lands between
+// waves, so no node is ever left half-kickstarted. Progress reaches the
+// Handle's journal and any WithProgress callback. Failures wrap the
+// package's sentinel errors (ErrUnknownRoll, ErrDepCycle, ...) so callers
+// can branch with errors.Is.
 //
 // The resulting Deployment exposes the day-2 operations of both papers'
 // workflows — scheduler-native command execution (Exec), profile and

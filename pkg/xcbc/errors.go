@@ -23,6 +23,9 @@ var (
 	ErrUnknownPowerPolicy = errors.New("xcbc: unknown power policy")
 	// ErrBadNodeCount reports a non-positive WithNodeCount argument.
 	ErrBadNodeCount = errors.New("xcbc: node count must be positive")
+	// ErrBadOption reports an out-of-range option argument, such as a
+	// negative WithParallelism or WithRetries value.
+	ErrBadOption = errors.New("xcbc: bad option value")
 	// ErrDiskless reports a Rocks provisioning attempt against a diskless
 	// node (the constraint that forces the Limulus onto the XNIT path).
 	ErrDiskless = errors.New("xcbc: Rocks cannot provision diskless nodes")

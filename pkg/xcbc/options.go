@@ -11,10 +11,14 @@ import (
 )
 
 // Event is one step of a long-running deployment, delivered through
-// WithProgress. Stage names: "distribution", "frontend", "compute",
-// "subsystems" (XCBC path); "vendor" (vendor path); "repo", "profile",
-// "scheduler", "packages" (XNIT path). Elapsed is simulated time.
+// WithProgress and Handle.Events. Stage names: "distribution", "frontend",
+// "compute", "wave", "quarantine", "subsystems" (XCBC path); "vendor"
+// (vendor path); "repo", "profile", "scheduler", "packages" (XNIT path).
+// Elapsed is simulated time. Seq is the event's position in the
+// deployment's journal — monotonically increasing, usable as a resume
+// cursor with Handle.Events.
 type Event struct {
+	Seq      int
 	Stage    string
 	Node     string
 	Message  string
@@ -58,6 +62,9 @@ type config struct {
 	monitorInterval time.Duration
 	nodeCount       int
 	progress        func(Event)
+	parallelism     int
+	retries         int
+	installHook     func(node string, attempt int) error
 
 	vendorOS       string
 	basePackages   []*rpm.Package
@@ -147,9 +154,47 @@ func WithNodeCount(n int) Option {
 }
 
 // WithProgress registers a callback receiving an Event after each
-// deployment step. Events arrive synchronously on the Deploy goroutine.
+// deployment step. Events arrive synchronously on the build goroutine (the
+// Deploy caller's goroutine only when the build runs synchronously); the
+// same events land in the Handle's journal regardless.
 func WithProgress(fn func(Event)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithParallelism sets the compute-install wave width on the XCBC path: how
+// many kickstarts overlap, bounded in practice by what the frontend can
+// serve. A wave's simulated cost is its slowest member, not the sum.
+// Default 1 (sequential); n < 0 is an error.
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail(fmt.Errorf("%w: negative parallelism %d", ErrBadOption, n))
+			return
+		}
+		c.parallelism = n
+	}
+}
+
+// WithRetries sets how many times a failed compute install is re-attempted
+// (with simulated backoff) before the node is quarantined and the build
+// moves on without it. Default 0; n < 0 is an error.
+func WithRetries(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail(fmt.Errorf("%w: negative retries %d", ErrBadOption, n))
+			return
+		}
+		c.retries = n
+	}
+}
+
+// WithInstallHook registers a function run before every node install
+// attempt (attempt numbering starts at 1); returning an error fails that
+// attempt, which wave installs retry per WithRetries. It is the
+// fault-injection seam for tests and chaos drills, and — because it runs on
+// the build goroutine — a way to throttle or gate builds.
+func WithInstallHook(fn func(node string, attempt int) error) Option {
+	return func(c *config) { c.installHook = fn }
 }
 
 // WithVendorOS names the operating system the vendor path installs;
