@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestAPICallExitCodes pins the day-2 client's exit-code contract: 0 on
+// success, 1 on request/server errors, and — the retryable case — 2 when
+// the server answers 409 with a deployment state, meaning "the build has
+// not settled yet, wait and retry" rather than "the request is wrong".
+func TestAPICallExitCodes(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":7,"state":"running"}`))
+	})
+	mux.HandleFunc("GET /missing", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown cluster"}`))
+	})
+	mux.HandleFunc("GET /building", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"cluster d1 is not operable: deployment state is \"building\"","state":"building","hint":"wait for ready"}`))
+	})
+	// A 409 without a deployment state (some other conflict) is NOT the
+	// retryable case and must exit 1.
+	mux.HandleFunc("GET /conflict", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"some other conflict"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var job jobJSON
+	if code := apiCall("GET", srv.URL+"/ok", nil, &job); code != 0 || job.ID != 7 {
+		t.Errorf("ok: code=%d job=%+v, want 0 and id 7", code, job)
+	}
+	if code := apiCall("GET", srv.URL+"/missing", nil, nil); code != 1 {
+		t.Errorf("missing: code=%d, want 1", code)
+	}
+	if code := apiCall("GET", srv.URL+"/building", nil, nil); code != 2 {
+		t.Errorf("building: code=%d, want 2 (retryable not-ready)", code)
+	}
+	if code := apiCall("GET", srv.URL+"/conflict", nil, nil); code != 1 {
+		t.Errorf("bare conflict: code=%d, want 1", code)
+	}
+	if code := apiCall("GET", "http://127.0.0.1:1/unreachable", nil, nil); code != 1 {
+		t.Errorf("unreachable: code=%d, want 1", code)
+	}
+}

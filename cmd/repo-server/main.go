@@ -10,10 +10,13 @@
 // Usage:
 //
 //	repo-server -addr :8080
+//	curl localhost:8080/api/v1                 # route discovery
 //	curl localhost:8080/api/v1/repos
 //	curl localhost:8080/api/v1/repos/xsede/packages?name=gcc
 //	curl -d '{"install":["gromacs"]}' localhost:8080/api/v1/depsolve
 //	curl -d '{"cluster":"littlefe","scheduler":"torque"}' localhost:8080/api/v1/deployments
+//	curl localhost:8080/api/v1/clusters/d1     # day-2 view once ready
+//	curl -d '{"cores":4,"walltime":"1h"}' localhost:8080/api/v1/clusters/d1/jobs
 //	curl localhost:8080/                       # readme.xsederepo
 //	curl localhost:8080/xsede/repodata/repomd.json
 package main
@@ -53,7 +56,8 @@ func main() {
 
 	fmt.Printf("serving XSEDE repository (%d packages) and API %s on %s\n",
 		xnit.Len(), api.Version, *addr)
-	fmt.Println("routes: /api/v1/{healthz,repos,depsolve,deployments}  /  /xsede/repodata/repomd.json")
+	fmt.Println("routes: /api/v1/{healthz,repos,depsolve,deployments,clusters}  /  /xsede/repodata/repomd.json")
+	fmt.Println("discover the full route table at GET /api/" + api.Version)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "repo-server:", err)
 		os.Exit(1)

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"xcbc/pkg/xcbc"
 )
@@ -55,10 +56,15 @@ func main() {
 	}
 	fmt.Printf("$ module load gromacs && echo $PATH\n%s\n\n", sess.Env("PATH"))
 
-	// 4. Let the workload finish and confirm the cluster is XSEDE-compatible.
-	d.Engine().Run()
-	j, _ := d.Batch().Job(1)
-	fmt.Printf("job 1 finished: state=%s turnaround=%v\n", j.State, j.Turnaround())
+	// 4. Open the day-2 Cluster resource (the same surface the REST control
+	// plane serves), let the workload finish, and confirm compatibility.
+	cl := d.Open()
+	cl.Advance(time.Hour)
+	j, _ := cl.Job(1)
+	fmt.Printf("job 1 finished: state=%s turnaround=%v\n", j.State, j.Ended-j.Submitted)
+	if m := cl.Metrics(); len(m.Nodes) > 0 {
+		fmt.Printf("monitoring: %d hosts reporting, mean load %.2f\n", len(m.Nodes), m.ClusterLoad)
+	}
 	rep, err := d.Compat()
 	if err != nil {
 		log.Fatal(err)

@@ -88,6 +88,10 @@ type Deployment struct {
 	Repos     *repo.Set
 	Scheduler string
 
+	// MonitorInterval is the gmetad poll period the deployment was built
+	// with; the day-2 Operations adapter uses it for alert freshness math.
+	MonitorInterval time.Duration
+
 	// InstallDuration is the simulated time the initial build consumed.
 	InstallDuration time.Duration
 	// PackagesInstalled counts packages placed across all nodes at build.
@@ -219,6 +223,7 @@ func NewVendorDeployment(eng *sim.Engine, c *cluster.Cluster, scheduler string, 
 
 // finishAssembly starts the subsystems shared by both build paths.
 func (d *Deployment) finishAssembly(o Options) {
+	d.MonitorInterval = o.MonitorInterval
 	if d.Scheduler != "" {
 		if policy, ok := sched.PolicyByName(d.Scheduler); ok {
 			d.Batch = sched.NewManager(d.Engine, d.Cluster, policy)

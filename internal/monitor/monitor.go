@@ -26,7 +26,11 @@ type Metric struct {
 }
 
 // Series is a fixed-capacity ring buffer of samples — the RRD stand-in.
+// It is safe for concurrent use: the aggregator hands out live Series
+// pointers, so readers (HTTP handlers, alert evaluation) overlap with the
+// poller's writes. All returns a defensive copy.
 type Series struct {
+	mu      sync.Mutex
 	samples []Metric
 	next    int
 	full    bool
@@ -42,6 +46,8 @@ func NewSeries(capacity int) *Series {
 
 // Add appends a sample, overwriting the oldest when full.
 func (s *Series) Add(m Metric) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.samples[s.next] = m
 	s.next++
 	if s.next == len(s.samples) {
@@ -52,14 +58,22 @@ func (s *Series) Add(m Metric) {
 
 // Len returns the number of stored samples.
 func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lenLocked()
+}
+
+func (s *Series) lenLocked() int {
 	if s.full {
 		return len(s.samples)
 	}
 	return s.next
 }
 
-// All returns samples oldest-first.
+// All returns a defensive copy of the samples, oldest-first.
 func (s *Series) All() []Metric {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.full {
 		return append([]Metric(nil), s.samples[:s.next]...)
 	}
@@ -71,7 +85,9 @@ func (s *Series) All() []Metric {
 
 // Latest returns the most recent sample, or false if empty.
 func (s *Series) Latest() (Metric, bool) {
-	if s.Len() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lenLocked() == 0 {
 		return Metric{}, false
 	}
 	idx := s.next - 1
@@ -99,7 +115,9 @@ func (s *Series) Mean() float64 {
 type LoadFunc func(node string) float64
 
 // Aggregator is the gmetad analogue: it polls agents on a period and stores
-// time series per host/metric.
+// time series per host/metric. It is safe for concurrent use; the Series
+// pointers it hands out are themselves synchronized, so a reader holding
+// one observes later polls without re-fetching.
 type Aggregator struct {
 	mu       sync.Mutex
 	cluster  *cluster.Cluster

@@ -30,6 +30,8 @@ type AccountingRecord struct {
 // Records returns accounting records for all finished jobs in completion
 // order.
 func (m *Manager) Records() []AccountingRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]AccountingRecord, 0, len(m.done))
 	for _, j := range m.done {
 		elapsed := (j.EndTime - j.StartTime).Duration().Seconds()
@@ -58,6 +60,8 @@ type UserSummary struct {
 // UserSummaries aggregates accounting by user, sorted by core-seconds
 // descending.
 func (m *Manager) UserSummaries() []UserSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	agg := make(map[string]*UserSummary)
 	waitTotals := make(map[string]time.Duration)
 	for _, j := range m.done {
@@ -98,6 +102,8 @@ func (m *Manager) UserSummaries() []UserSummary {
 // core-seconds between simulation start and now, over compute capacity.
 // Jobs still running contribute their elapsed time so far.
 func (m *Manager) Utilization() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	now := m.Engine.Now()
 	if now == 0 {
 		return 0
@@ -122,7 +128,9 @@ func (m *Manager) Utilization() float64 {
 	return delivered / available
 }
 
-// AccountingReport renders the accounting log plus summaries.
+// AccountingReport renders the accounting log plus summaries. It composes
+// the locking accessors rather than holding m.mu itself, so the sections
+// are each internally consistent snapshots.
 func (m *Manager) AccountingReport() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "job accounting (%s scheduler), utilization %.1f%%\n",

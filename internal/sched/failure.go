@@ -17,6 +17,8 @@ import (
 // jobs are requeued (fresh submission time, so they do not jump the queue
 // unfairly under FIFO), and a scheduling pass redistributes work.
 func (m *Manager) NodeFail(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n, ok := m.Cluster.Lookup(name)
 	if !ok {
 		return fmt.Errorf("sched: no such node %s", name)
@@ -54,6 +56,8 @@ func (m *Manager) NodeFail(name string) error {
 // NodeRepair returns a failed node to service with its full core count and
 // reruns placement.
 func (m *Manager) NodeRepair(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n, ok := m.Cluster.Lookup(name)
 	if !ok {
 		return fmt.Errorf("sched: no such node %s", name)
@@ -68,6 +72,8 @@ func (m *Manager) NodeRepair(name string) error {
 // new work is placed on it ("rocks set host boot action=install" before a
 // reinstall, or pbsnodes -o). Undrain returns it to service.
 func (m *Manager) Drain(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.Cluster.Lookup(name); !ok {
 		return fmt.Errorf("sched: no such node %s", name)
 	}
@@ -80,6 +86,8 @@ func (m *Manager) Drain(name string) error {
 
 // Undrain returns a drained node to service and reruns placement.
 func (m *Manager) Undrain(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.Cluster.Lookup(name); !ok {
 		return fmt.Errorf("sched: no such node %s", name)
 	}
@@ -89,11 +97,17 @@ func (m *Manager) Undrain(name string) error {
 }
 
 // Drained reports whether a node is in maintenance.
-func (m *Manager) Drained(name string) bool { return m.drained[name] }
+func (m *Manager) Drained(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drained[name]
+}
 
 // RequeuedCount returns how many currently queued jobs have been requeued
 // by a node failure; used by hardening tests and reports.
 func (m *Manager) RequeuedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	count := 0
 	for _, j := range m.queue {
 		if j.requeued {

@@ -1,21 +1,45 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"xcbc/internal/cluster"
 	"xcbc/internal/sim"
 )
 
+// Sentinel errors; test with errors.Is.
+var (
+	// ErrUnknownJob reports a job ID that is neither queued nor running.
+	ErrUnknownJob = errors.New("sched: unknown job")
+	// ErrBadJob reports a submission that can never run (no cores requested,
+	// or more cores than the cluster has).
+	ErrBadJob = errors.New("sched: bad job request")
+)
+
 // Manager is the batch system: a queue, a set of running jobs, and an
 // allocation map over a cluster's compute nodes, driven by a discrete-event
 // engine and parameterized by a Policy.
+//
+// Manager methods are safe for concurrent use with each other: a mutex
+// guards the queue, running set, history, and allocation maps, and the
+// accessors return defensively copied slices. The *Job elements inside
+// them stay live — the manager keeps mutating a job's State/EndTime/Alloc
+// as it progresses — so reading job fields is only safe on the goroutine
+// driving the engine; cross-goroutine readers want the snapshotting
+// core.Operations adapter (JobView), which is what the HTTP control plane
+// uses. Advancing the shared sim.Engine concurrently with Manager calls
+// likewise needs that external serialization (the engine itself is
+// unsynchronized).
 type Manager struct {
 	Engine  *sim.Engine
 	Cluster *cluster.Cluster
-	policy  Policy
+
+	mu     sync.Mutex
+	policy Policy
 
 	nextID  int
 	queue   []*Job
@@ -53,12 +77,18 @@ func NewManager(eng *sim.Engine, c *cluster.Cluster, p Policy) *Manager {
 }
 
 // PolicyName returns the active scheduler personality.
-func (m *Manager) PolicyName() string { return m.policy.Name() }
+func (m *Manager) PolicyName() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy.Name()
+}
 
 // SetPolicy swaps the scheduler personality (the paper's "change the
 // schedulers" workflow on the Limulus). Queued jobs are re-evaluated under
 // the new policy; running jobs are unaffected.
 func (m *Manager) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.policy = p
 	m.schedule()
 }
@@ -75,17 +105,21 @@ func (m *Manager) TotalCores() int {
 }
 
 // Submit enqueues a job and runs a scheduling pass. The job's Runtime is how
-// long it will actually execute; Walltime is the requested limit.
+// long it will actually execute; Walltime is the requested limit. The job
+// struct becomes manager-owned on success: read it back via Job or the
+// accessors rather than retaining the pointer across engine advances.
 func (m *Manager) Submit(j *Job) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if j.Cores <= 0 {
-		return 0, fmt.Errorf("sched: job must request at least 1 core")
+		return 0, fmt.Errorf("%w: job must request at least 1 core", ErrBadJob)
 	}
 	capacity := 0
 	for _, n := range m.Cluster.Computes {
 		capacity += n.Cores()
 	}
 	if j.Cores > capacity {
-		return 0, fmt.Errorf("sched: job requests %d cores, cluster has %d", j.Cores, capacity)
+		return 0, fmt.Errorf("%w: job requests %d cores, cluster has %d", ErrBadJob, j.Cores, capacity)
 	}
 	if j.Walltime <= 0 {
 		j.Walltime = time.Hour
@@ -104,6 +138,8 @@ func (m *Manager) Submit(j *Job) (int, error) {
 
 // Cancel removes a queued job or kills a running one.
 func (m *Manager) Cancel(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, j := range m.queue {
 		if j.ID == id {
 			m.queue = append(m.queue[:i:i], m.queue[i+1:]...)
@@ -118,11 +154,13 @@ func (m *Manager) Cancel(id int) error {
 		m.schedule()
 		return nil
 	}
-	return fmt.Errorf("sched: no active job %d", id)
+	return fmt.Errorf("%w: no active job %d", ErrUnknownJob, id)
 }
 
 // Job finds a job by ID across queue, running set, and history.
 func (m *Manager) Job(id int) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, j := range m.queue {
 		if j.ID == id {
 			return j, true
@@ -139,15 +177,21 @@ func (m *Manager) Job(id int) (*Job, bool) {
 	return nil, false
 }
 
-// Queued returns queued jobs in current policy order.
+// Queued returns a defensively copied slice of the queued jobs in current
+// policy order (the *Job elements are live; see the Manager doc).
 func (m *Manager) Queued() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := append([]*Job(nil), m.queue...)
 	m.sortQueue(out)
 	return out
 }
 
-// Running returns running jobs ordered by ID.
+// Running returns a defensively copied slice of the running jobs ordered
+// by ID (the *Job elements are live; see the Manager doc).
 func (m *Manager) Running() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*Job, 0, len(m.running))
 	for _, j := range m.running {
 		out = append(out, j)
@@ -156,11 +200,18 @@ func (m *Manager) Running() []*Job {
 	return out
 }
 
-// History returns finished jobs in completion order.
-func (m *Manager) History() []*Job { return append([]*Job(nil), m.done...) }
+// History returns a defensively copied slice of the finished jobs in
+// completion order (the *Job elements are live; see the Manager doc).
+func (m *Manager) History() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Job(nil), m.done...)
+}
 
 // Usage returns consumed core-seconds by user (fair-share accounting).
 func (m *Manager) Usage() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]float64, len(m.usage))
 	for k, v := range m.usage {
 		out[k] = v
@@ -170,6 +221,8 @@ func (m *Manager) Usage() map[string]float64 {
 
 // FreeCores returns currently free cores on a powered-on node.
 func (m *Manager) FreeCores(node string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n, ok := m.Cluster.Lookup(node)
 	if !ok || n.Power() == cluster.PowerOff {
 		return 0
@@ -179,6 +232,8 @@ func (m *Manager) FreeCores(node string) int {
 
 // IdleNodes returns powered-on compute nodes running nothing.
 func (m *Manager) IdleNodes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []string
 	for _, n := range m.Cluster.Computes {
 		if n.Power() == cluster.PowerOn && m.free[n.Name] == n.Cores() {
@@ -191,6 +246,13 @@ func (m *Manager) IdleNodes() []string {
 
 // NodeBusy reports whether any job occupies the node.
 func (m *Manager) NodeBusy(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nodeBusy(node)
+}
+
+// nodeBusy is NodeBusy with m.mu held.
+func (m *Manager) nodeBusy(node string) bool {
 	n, ok := m.Cluster.Lookup(node)
 	if !ok {
 		return false
@@ -198,7 +260,7 @@ func (m *Manager) NodeBusy(node string) bool {
 	return m.free[node] < n.Cores()
 }
 
-// sortQueue orders jobs by the active policy.
+// sortQueue orders jobs by the active policy. m.mu held.
 func (m *Manager) sortQueue(q []*Job) {
 	now := m.Engine.Now()
 	sort.SliceStable(q, func(i, j int) bool { return m.policy.Less(q[i], q[j], now, m.usage) })
@@ -206,7 +268,9 @@ func (m *Manager) sortQueue(q []*Job) {
 
 // schedule runs one scheduling pass: start jobs in policy order; if backfill
 // is enabled, lower-priority jobs that fit without delaying the blocked head
-// job may start too.
+// job may start too. m.mu held; WakeRequest is invoked under it, so the
+// hook must not call back into the Manager synchronously (the power manager
+// defers its reaction through the engine).
 func (m *Manager) schedule() {
 	m.sortQueue(m.queue)
 	var blockedHead *Job
@@ -243,7 +307,7 @@ func (m *Manager) schedule() {
 	}
 }
 
-// totalFree sums free cores over powered-on nodes.
+// totalFree sums free cores over powered-on nodes. m.mu held.
 func (m *Manager) totalFree() int {
 	total := 0
 	for _, n := range m.Cluster.Computes {
@@ -256,7 +320,7 @@ func (m *Manager) totalFree() int {
 
 // tryPlace finds an allocation for the requested cores over powered-on
 // nodes (packing onto the fullest nodes first to reduce fragmentation), or
-// nil if it does not fit.
+// nil if it does not fit. m.mu held.
 func (m *Manager) tryPlace(cores int) map[string]int {
 	type slot struct {
 		name string
@@ -313,6 +377,8 @@ func (m *Manager) fitsInShadow(j *Job) bool {
 }
 
 // start allocates and begins a job, scheduling its completion event.
+// m.mu held; the completion callback fires later from an engine advance,
+// outside any Manager call, so it re-acquires the lock itself.
 func (m *Manager) start(j *Job, alloc map[string]int) {
 	for node, c := range alloc {
 		m.free[node] -= c
@@ -328,12 +394,15 @@ func (m *Manager) start(j *Job, alloc map[string]int) {
 		final = StateTimeout
 	}
 	j.finish = m.Engine.After(dur, fmt.Sprintf("job-%d-finish", j.ID), func(*sim.Engine) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		m.finish(j, final)
 		m.schedule()
 	})
 }
 
-// finish releases a job's resources and records accounting.
+// finish releases a job's resources and records accounting. m.mu held;
+// DrainNotify is invoked under it (see schedule's WakeRequest note).
 func (m *Manager) finish(j *Job, state JobState) {
 	if j.terminal() {
 		return
@@ -352,7 +421,7 @@ func (m *Manager) finish(j *Job, state JobState) {
 	if m.DrainNotify != nil {
 		sort.Strings(freed)
 		for _, node := range freed {
-			if !m.NodeBusy(node) {
+			if !m.nodeBusy(node) {
 				m.DrainNotify(node)
 			}
 		}

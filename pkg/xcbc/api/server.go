@@ -2,8 +2,11 @@
 // plus the legacy Yum-over-HTTP routes the XSEDE Campus Bridging team
 // served at cb-repo.iu.xsede.org.
 //
-// Versioned routes (see DESIGN.md for the versioning policy):
+// Versioned routes (see DESIGN.md for the versioning policy; GET /api/v1
+// returns this listing as a machine-readable discovery document, so
+// clients can feature-detect the cluster routes):
 //
+//	GET    /api/v1                          — route/version discovery
 //	GET    /api/v1/healthz
 //	GET    /api/v1/repos
 //	GET    /api/v1/repos/{id}
@@ -14,6 +17,17 @@
 //	GET    /api/v1/deployments/{id}[?cursor=N]
 //	GET    /api/v1/deployments/{id}/events  — Server-Sent Events stream
 //	DELETE /api/v1/deployments/{id}         — cancels an in-flight build
+//	GET    /api/v1/clusters                 — day-2 view of the same records
+//	GET    /api/v1/clusters/{id}
+//	POST   /api/v1/clusters/{id}/jobs
+//	GET    /api/v1/clusters/{id}/jobs[?state=...]
+//	GET    /api/v1/clusters/{id}/jobs/{jid}
+//	DELETE /api/v1/clusters/{id}/jobs/{jid}
+//	GET    /api/v1/clusters/{id}/metrics
+//	GET    /api/v1/clusters/{id}/alerts
+//	POST   /api/v1/clusters/{id}/validate
+//	GET    /api/v1/clusters/{id}/updates[?policy=...]
+//	POST   /api/v1/clusters/{id}/advance
 //
 // Deployments are asynchronous jobs: POST validates the request, starts the
 // build on the SDK's worker pool, and returns immediately with the
@@ -21,6 +35,13 @@
 // Clients poll GET with the journal cursor from the previous response, or
 // attach to /events for a push stream; DELETE cancels an in-flight build
 // (the record stays for status inspection) and removes a terminal one.
+//
+// Clusters are the day-2 view of the same records: once a deployment
+// reaches "ready", its /clusters/{id} sub-routes operate the live system —
+// batch jobs, monitoring with alerts, HPL validation, update checks, and
+// virtual-time advancement. A sub-route hit before the build settles
+// answers 409 Conflict with the current state, so clients know to wait
+// rather than retry a different request.
 //
 // Legacy Yum routes, preserved verbatim:
 //
@@ -38,6 +59,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,6 +92,15 @@ type Config struct {
 	DeployOptions []xcbc.Option
 }
 
+// routeInfo describes one versioned route, for both mux registration and
+// the GET /api/v1 discovery document.
+type routeInfo struct {
+	Method  string `json:"method"`
+	Path    string `json:"path"`
+	Doc     string `json:"doc"`
+	handler http.HandlerFunc
+}
+
 // Server is the HTTP control plane. Create with New, serve via Handler
 // (for tests and embedding) or ListenAndServe (timeouts + graceful
 // shutdown included).
@@ -79,6 +110,7 @@ type Server struct {
 	logger     *log.Logger
 	handler    http.Handler
 	deployOpts []xcbc.Option
+	routes     []routeInfo
 
 	// closing is closed when ListenAndServe begins graceful shutdown so
 	// long-lived streams (SSE) end promptly instead of pinning Shutdown
@@ -123,33 +155,43 @@ func New(cfg Config) *Server {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/v1/repos", s.handleRepos)
-	mux.HandleFunc("GET /api/v1/repos/{id}", s.handleRepo)
-	mux.HandleFunc("GET /api/v1/repos/{id}/packages", s.handleRepoPackages)
-	mux.HandleFunc("POST /api/v1/depsolve", s.handleDepsolve)
-	mux.HandleFunc("GET /api/v1/deployments", s.handleDeployments)
-	mux.HandleFunc("POST /api/v1/deployments", s.handleCreateDeployment)
-	mux.HandleFunc("GET /api/v1/deployments/{id}", s.handleDeployment)
-	mux.HandleFunc("GET /api/v1/deployments/{id}/events", s.handleDeploymentEvents)
-	mux.HandleFunc("DELETE /api/v1/deployments/{id}", s.handleDeleteDeployment)
+	s.routes = []routeInfo{
+		{"GET", "/api/v1", "route and version discovery (this document)", s.handleIndex},
+		{"GET", "/api/v1/healthz", "liveness probe", s.handleHealth},
+		{"GET", "/api/v1/repos", "list served repositories", s.handleRepos},
+		{"GET", "/api/v1/repos/{id}", "one repository's configuration", s.handleRepo},
+		{"GET", "/api/v1/repos/{id}/packages", "package records, ?name= filters", s.handleRepoPackages},
+		{"POST", "/api/v1/depsolve", "resolve a package install plan", s.handleDepsolve},
+		{"GET", "/api/v1/deployments", "list deployments (build-time view)", s.handleDeployments},
+		{"POST", "/api/v1/deployments", "start an async build, 202 Accepted", s.handleCreateDeployment},
+		{"GET", "/api/v1/deployments/{id}", "build status, ?cursor= pages the journal", s.handleDeployment},
+		{"GET", "/api/v1/deployments/{id}/events", "Server-Sent Events build stream", s.handleDeploymentEvents},
+		{"DELETE", "/api/v1/deployments/{id}", "cancel in-flight / remove terminal", s.handleDeleteDeployment},
+		{"GET", "/api/v1/clusters", "list clusters (day-2 view of deployments)", s.handleClusters},
+		{"GET", "/api/v1/clusters/{id}", "cluster summary; 409 until ready", s.handleCluster},
+		{"POST", "/api/v1/clusters/{id}/jobs", "submit a batch job", s.handleSubmitJob},
+		{"GET", "/api/v1/clusters/{id}/jobs", "list jobs, ?state= filters", s.handleJobs},
+		{"GET", "/api/v1/clusters/{id}/jobs/{jid}", "one job's snapshot", s.handleJob},
+		{"DELETE", "/api/v1/clusters/{id}/jobs/{jid}", "cancel a queued or running job", s.handleCancelJob},
+		{"GET", "/api/v1/clusters/{id}/metrics", "poll nodes and return the snapshot", s.handleMetrics},
+		{"GET", "/api/v1/clusters/{id}/alerts", "firing alerts and transition log", s.handleAlerts},
+		{"POST", "/api/v1/clusters/{id}/validate", "HPL model + measured smoke solve", s.handleValidate},
+		{"GET", "/api/v1/clusters/{id}/updates", "update check, ?policy= selects handling", s.handleUpdates},
+		{"POST", "/api/v1/clusters/{id}/advance", "advance virtual time", s.handleAdvance},
+	}
+	allow := make(map[string][]string)
+	for _, rt := range s.routes {
+		mux.HandleFunc(rt.Method+" "+rt.Path, rt.handler)
+		allow[rt.Path] = append(allow[rt.Path], rt.Method)
+	}
 	// Method-less fallbacks: a known path with the wrong verb is 405 (with
 	// Allow), not 404. The method-specific patterns above are more
 	// specific, so they win for their verbs.
-	for path, allow := range map[string]string{
-		"/api/v1/healthz":                 "GET",
-		"/api/v1/repos":                   "GET",
-		"/api/v1/repos/{id}":              "GET",
-		"/api/v1/repos/{id}/packages":     "GET",
-		"/api/v1/depsolve":                "POST",
-		"/api/v1/deployments":             "GET, POST",
-		"/api/v1/deployments/{id}":        "GET, DELETE",
-		"/api/v1/deployments/{id}/events": "GET",
-	} {
-		mux.HandleFunc(path, methodNotAllowed(allow))
+	for path, methods := range allow {
+		mux.HandleFunc(path, methodNotAllowed(strings.Join(methods, ", ")))
 	}
 	mux.HandleFunc("/api/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, "unknown API route (current version: "+Version+")")
+		writeError(w, http.StatusNotFound, "unknown API route (current version: "+Version+"; discover routes at GET /api/"+Version+")")
 	})
 	// Everything else is the legacy Yum surface, served over the live set
 	// so runtime mutations through Repos() reach both route families.
@@ -257,6 +299,13 @@ func methodNotAllowed(allow string) http.HandlerFunc {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": Version})
+}
+
+// handleIndex serves the discovery document: the API version and the full
+// route listing, so clients can feature-detect capabilities (the cluster
+// day-2 routes in particular) instead of probing with requests.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"version": Version, "routes": s.routes})
 }
 
 // repoInfo is the JSON shape of one repository.
@@ -611,8 +660,9 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 }
 
 // deployErrorStatus maps SDK sentinel errors onto HTTP statuses: bad names
-// are the client's fault, impossible builds are unprocessable, anything
-// else is a server error.
+// and malformed requests are the client's fault, impossible operations are
+// unprocessable, unknown resources are 404, a deployment that has not
+// settled yet is a 409 conflict, anything else is a server error.
 func deployErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, xcbc.ErrUnknownCluster),
@@ -621,12 +671,18 @@ func deployErrorStatus(err error) int {
 		errors.Is(err, xcbc.ErrUnknownProfile),
 		errors.Is(err, xcbc.ErrUnknownPowerPolicy),
 		errors.Is(err, xcbc.ErrBadNodeCount),
+		errors.Is(err, xcbc.ErrBadJob),
 		errors.Is(err, xcbc.ErrBadOption):
 		return http.StatusBadRequest
+	case errors.Is(err, xcbc.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, xcbc.ErrNotReady):
+		return http.StatusConflict
 	case errors.Is(err, xcbc.ErrDiskless),
 		errors.Is(err, xcbc.ErrDepCycle),
 		errors.Is(err, xcbc.ErrUnresolvable),
 		errors.Is(err, xcbc.ErrJobsRunning),
+		errors.Is(err, xcbc.ErrNoScheduler),
 		errors.Is(err, xcbc.ErrNoRepos):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

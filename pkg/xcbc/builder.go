@@ -13,13 +13,25 @@ import (
 // Builder deploys a cluster. Start validates the request synchronously,
 // then runs the build as an asynchronous job on a bounded worker pool and
 // returns a Handle for polling, event streaming, and cancellation. Deploy
-// is the synchronous convenience wrapper: Start plus Wait.
+// is the synchronous convenience wrapper: Start plus Wait. Open is Deploy
+// plus Deployment.Open: build the cluster and hand back its operable
+// day-2 resource in one call.
 //
 // Builds honor cancellation between provisioning waves; progress reaches
 // both the Handle's journal and any WithProgress callback.
 type Builder interface {
 	Start(ctx context.Context) (*Handle, error)
 	Deploy(ctx context.Context) (*Deployment, error)
+	Open(ctx context.Context) (*Cluster, error)
+}
+
+// open runs the synchronous build path and opens the Cluster resource.
+func open(ctx context.Context, b Builder) (*Cluster, error) {
+	d, err := b.Deploy(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d.Open(), nil
 }
 
 // deploy runs the synchronous path shared by all builders. On ctx
@@ -120,6 +132,8 @@ func (b *xcbcBuilder) Deploy(ctx context.Context) (*Deployment, error) {
 	return deploy(ctx, b)
 }
 
+func (b *xcbcBuilder) Open(ctx context.Context) (*Cluster, error) { return open(ctx, b) }
+
 // NewVendor returns a builder for a vendor-managed machine: the OS and a
 // minimal package set installed by vendor tooling (which, unlike Rocks,
 // handles diskless nodes), no XSEDE stack. Its Deployment is what NewXNIT
@@ -215,6 +229,8 @@ func (b *vendorBuilder) Deploy(ctx context.Context) (*Deployment, error) {
 	return build(ctx, func(ev Event) int { return ev.Seq })
 }
 
+func (b *vendorBuilder) Open(ctx context.Context) (*Cluster, error) { return open(ctx, b) }
+
 // NewXNIT returns a builder that converts an existing deployment in place:
 // configure the XSEDE Yum repository with the recommended priority, install
 // the requested profiles and packages, and optionally change the scheduler
@@ -303,3 +319,5 @@ func (b *xnitBuilder) Start(ctx context.Context) (*Handle, error) {
 func (b *xnitBuilder) Deploy(ctx context.Context) (*Deployment, error) {
 	return deploy(ctx, b)
 }
+
+func (b *xnitBuilder) Open(ctx context.Context) (*Cluster, error) { return open(ctx, b) }

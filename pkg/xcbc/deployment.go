@@ -2,6 +2,7 @@ package xcbc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"xcbc/internal/cluster"
@@ -19,9 +20,22 @@ import (
 // Deployment is a running cluster produced by a Builder: the hardware plus
 // every subsystem. The methods below cover the paper's day-2 workflows;
 // the subsystem accessors hand out the underlying managers for anything
-// beyond them.
+// beyond them. For concurrent (HTTP-reachable) day-2 use, Open the
+// Cluster resource instead of calling these directly.
 type Deployment struct {
 	core *core.Deployment
+
+	opsOnce sync.Once
+	ops     *core.Operations
+}
+
+// Open returns the Cluster resource for this deployment: the
+// concurrency-safe day-2 surface (jobs, metrics, validation, updates).
+// Every Open on the same Deployment shares one serialization point, so
+// clusters opened twice stay mutually safe.
+func (d *Deployment) Open() *Cluster {
+	d.opsOnce.Do(func() { d.ops = core.NewOperations(d.core) })
+	return &Cluster{d: d, ops: d.ops}
 }
 
 // Exec runs one scheduler-native command line (qsub/qstat/qdel,

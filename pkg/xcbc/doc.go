@@ -44,12 +44,31 @@
 // package's sentinel errors (ErrUnknownRoll, ErrDepCycle, ...) so callers
 // can branch with errors.Is.
 //
-// The resulting Deployment exposes the day-2 operations of both papers'
-// workflows — scheduler-native command execution (Exec), profile and
-// package installation, scheduler swaps, compatibility reports, and update
-// checks — plus handles to the underlying subsystems for advanced use.
+// A ready deployment is operated through the Cluster resource — the
+// concurrency-safe day-2 surface. Handle.Cluster opens it once the build
+// settles (ErrNotReady before that); Builder.Open builds and opens in one
+// call:
+//
+//	cl, err := xcbc.NewXCBC(xcbc.WithCluster("littlefe")).Open(ctx)
+//	...
+//	job, err := cl.SubmitJob(xcbc.JobSpec{Name: "relax", User: "alice",
+//	        Cores: 4, Walltime: time.Hour, Runtime: 20 * time.Minute})
+//	cl.Advance(30 * time.Minute)  // virtual time: the job completes
+//	m := cl.Metrics()             // on-demand poll + alert evaluation
+//	v, err := cl.Validate()       // HPL model + measured smoke solve
+//	u := cl.CheckUpdates(xcbc.UpdateNotify, time.Now())
+//
+// Every Cluster operation is serialized through one adapter per
+// Deployment, making the combination of scheduler, monitor, and the shared
+// discrete-event engine safe to drive from concurrent goroutines (HTTP
+// handlers in particular). The Deployment type remains the build-time
+// view — install facts, subsystem escape hatches, profile installs,
+// scheduler swaps, and compatibility reports.
 //
 // The HTTP control plane in pkg/xcbc/api serves this SDK as a versioned
-// JSON REST API. See DESIGN.md at the repository root for the architecture
-// and the API versioning policy.
+// JSON REST API: deployments at /api/v1/deployments, the day-2 cluster
+// surface at /api/v1/clusters/{id} (jobs, metrics, alerts, validate,
+// updates, advance), and a discovery document at GET /api/v1. See
+// DESIGN.md at the repository root for the architecture and the API
+// versioning policy.
 package xcbc

@@ -3,9 +3,11 @@ package xcbc
 import (
 	"errors"
 
+	"xcbc/internal/core"
 	"xcbc/internal/depsolve"
 	"xcbc/internal/provision"
 	"xcbc/internal/rocks"
+	"xcbc/internal/sched"
 )
 
 // Sentinel errors wrapped by SDK operations; test with errors.Is.
@@ -43,6 +45,17 @@ var (
 	// ErrNilDeployment reports NewXNIT called with a nil existing
 	// deployment.
 	ErrNilDeployment = errors.New("xcbc: nil deployment")
+	// ErrNotReady reports a day-2 operation (Handle.Cluster) on a
+	// deployment that has not reached StateReady.
+	ErrNotReady = errors.New("xcbc: deployment not ready")
+	// ErrNoScheduler reports a batch operation on a cluster deployed
+	// without a batch system (the vendor path with no scheduler).
+	ErrNoScheduler = errors.New("xcbc: no batch system installed")
+	// ErrUnknownJob reports a job ID that is neither queued nor running.
+	ErrUnknownJob = errors.New("xcbc: unknown job")
+	// ErrBadJob reports a job submission that can never run (no cores, or
+	// more cores than the cluster has).
+	ErrBadJob = errors.New("xcbc: bad job request")
 )
 
 // translate maps internal-layer failures onto the SDK's sentinel errors so
@@ -57,6 +70,12 @@ func translate(err error) error {
 		return errors.Join(ErrDiskless, err)
 	case errors.Is(err, rocks.ErrCycle):
 		return errors.Join(ErrDepCycle, err)
+	case errors.Is(err, core.ErrNoScheduler):
+		return errors.Join(ErrNoScheduler, err)
+	case errors.Is(err, sched.ErrUnknownJob):
+		return errors.Join(ErrUnknownJob, err)
+	case errors.Is(err, sched.ErrBadJob):
+		return errors.Join(ErrBadJob, err)
 	}
 	var unres *depsolve.UnresolvableError
 	if errors.As(err, &unres) {

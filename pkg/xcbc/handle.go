@@ -107,6 +107,19 @@ func (h *Handle) Deployment() (*Deployment, bool) {
 	return d, true
 }
 
+// Cluster returns the live Cluster resource — the concurrency-safe day-2
+// surface (jobs, metrics, validation, updates) — once the deployment is
+// StateReady. Before that it fails with ErrNotReady (wrapping the current
+// state in the message), so callers can poll or Wait first. It never
+// blocks.
+func (h *Handle) Cluster() (*Cluster, error) {
+	d, ok := h.Deployment()
+	if !ok {
+		return nil, fmt.Errorf("%w: deployment is %s", ErrNotReady, h.Status())
+	}
+	return d.Open(), nil
+}
+
 // Err returns the deployment's terminal error: nil while in flight and on
 // success, the build error once failed, a context error once cancelled.
 func (h *Handle) Err() error { return h.job.Err() }
