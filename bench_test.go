@@ -776,3 +776,51 @@ func BenchmarkBuildXCBCSequential(b *testing.B) { benchmarkBuildXCBC(b, 1) }
 // frontend-bounded parallel build; simulated install duration is the max
 // per wave instead of the sum.
 func BenchmarkBuildXCBCWave8(b *testing.B) { benchmarkBuildXCBC(b, 8) }
+
+// BenchmarkFleetProvision100 provisions the campus-100 fleet shape — 100
+// littlefe clusters, 4 computes each, wave width 4, 8 concurrent builds —
+// to fully ready. This is the wall-clock cost of the scenario engine's
+// heaviest built-in phase, and the scale baseline future fleet PRs must
+// not regress.
+func BenchmarkFleetProvision100(b *testing.B) {
+	var ready int
+	for i := 0; i < b.N; i++ {
+		f, err := sdk.NewFleet(sdk.FleetSpec{
+			Name: "bench", Members: 100, Cluster: "littlefe", Nodes: 4,
+			Parallelism: 4, Workers: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		ready = f.Status().Ready
+	}
+	if ready != 100 {
+		b.Fatalf("ready = %d, want 100", ready)
+	}
+	b.ReportMetric(float64(ready), "clusters_ready")
+}
+
+// BenchmarkScenarioChaosKickstart runs the chaos-kickstart built-in end to
+// end: seeded kickstart faults, provisioning with retries, a job flood,
+// cancellations, and invariant checks across 32 clusters.
+func BenchmarkScenarioChaosKickstart(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		sc, err := sdk.BuiltinScenario("chaos-kickstart")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sdk.RunScenario(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("violations: %v", res.Violations())
+		}
+		events = len(res.Trace())
+	}
+	b.ReportMetric(float64(events), "trace_events")
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xcbc/pkg/xcbc"
+)
+
+// fleetCmd dispatches `clusterctl fleet run|scenarios`: the fleet-scale
+// scenario engine, run locally through the SDK (no server needed).
+//
+//	clusterctl fleet scenarios
+//	clusterctl fleet run campus-100
+//	clusterctl fleet run chaos.json -seed 7 -trace trace.jsonl -v
+//
+// `run` accepts a built-in scenario name (see `fleet scenarios`) or a path
+// to a scenario JSON file. Exit codes: 0 the scenario passed its
+// invariants, 1 it failed or could not run, 2 the scenario itself was
+// unusable (unknown name, malformed JSON).
+func fleetCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "clusterctl fleet: need a subcommand: run or scenarios")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "scenarios":
+		fs := flag.NewFlagSet("fleet scenarios", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		fmt.Fprintf(stdout, "%-18s %-8s %-6s %s\n", "NAME", "MEMBERS", "SEED", "DESCRIPTION")
+		for _, name := range xcbc.BuiltinScenarios() {
+			sc, err := xcbc.BuiltinScenario(name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "%-18s %-8d %-6d %s\n", sc.Name(), sc.Members(), sc.Seed(), sc.Description())
+		}
+		return 0
+	case "run":
+		fs := flag.NewFlagSet("fleet run", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		seed := fs.Int64("seed", 0, "override the scenario's RNG seed (0 = keep)")
+		tracePath := fs.String("trace", "", "write the JSONL trace to this file (\"-\" = stdout)")
+		verbose := fs.Bool("v", false, "print every trace event as it is reported")
+		// Accept the scenario before or after the flags: both
+		// `fleet run campus-100 -v` and `fleet run -v campus-100` work.
+		target := ""
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			target, rest = rest[0], rest[1:]
+		}
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		switch {
+		case target == "" && fs.NArg() == 1:
+			target = fs.Arg(0)
+		case target != "" && fs.NArg() == 0:
+		default:
+			fmt.Fprintln(stderr, "clusterctl fleet run: need exactly one scenario (a built-in name or a JSON file)")
+			return 2
+		}
+		sc, code := loadScenarioArg(target, stderr)
+		if sc == nil {
+			return code
+		}
+		if *seed != 0 {
+			sc.SetSeed(*seed)
+		}
+		fmt.Fprintf(stdout, "running scenario %s: %d members, seed %d\n", sc.Name(), sc.Members(), sc.Seed())
+		res, err := xcbc.RunScenario(context.Background(), sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "clusterctl fleet run:", err)
+			return 1
+		}
+		if *verbose {
+			for _, ev := range res.Trace() {
+				fmt.Fprintf(stdout, "  %4d [%2d] %-22s %-18s %-14s %s\n",
+					ev.Seq, ev.Phase, ev.Kind, ev.Member, ev.Node, ev.Detail)
+			}
+		}
+		if *tracePath != "" {
+			trace := res.TraceJSONL()
+			if *tracePath == "-" {
+				stdout.Write(trace)
+			} else if err := os.WriteFile(*tracePath, trace, 0o644); err != nil {
+				fmt.Fprintln(stderr, "clusterctl fleet run: writing trace:", err)
+				return 1
+			}
+		}
+		st := res.Stats()
+		fmt.Fprintf(stdout,
+			"fleet: %d/%d ready (%d failed, %d cancelled), %d nodes quarantined\n",
+			st.Ready, st.Members, st.Failed, st.Cancelled, st.QuarantinedNodes)
+		fmt.Fprintf(stdout,
+			"work:  %d jobs submitted, %d cancelled, %d updates applied, simulated end %s\n",
+			st.JobsSubmitted, st.JobsCancelled, st.UpdatesApplied, st.SimulatedEnd)
+		if !res.Passed() {
+			fmt.Fprintf(stdout, "FAILED: %d invariant violation(s)\n", len(res.Violations()))
+			for _, v := range res.Violations() {
+				fmt.Fprintln(stdout, "  -", v)
+			}
+			return 1
+		}
+		fmt.Fprintln(stdout, "PASSED: all invariants held")
+		return 0
+	}
+	fmt.Fprintf(stderr, "clusterctl fleet: unknown subcommand %q (use run or scenarios)\n", sub)
+	return 2
+}
+
+// loadScenarioArg resolves a built-in name or a JSON file path. On failure
+// it prints the problem and returns (nil, exit code).
+func loadScenarioArg(arg string, stderr io.Writer) (*xcbc.Scenario, int) {
+	sc, err := xcbc.BuiltinScenario(arg)
+	if err == nil {
+		return sc, 0
+	}
+	if !errors.Is(err, xcbc.ErrUnknownScenario) {
+		fmt.Fprintln(stderr, "clusterctl fleet run:", err)
+		return nil, 2
+	}
+	data, rerr := os.ReadFile(arg)
+	if rerr != nil {
+		fmt.Fprintf(stderr, "clusterctl fleet run: %q is neither a built-in scenario (%v) nor a readable file (%v)\n",
+			arg, xcbc.BuiltinScenarios(), rerr)
+		return nil, 2
+	}
+	sc, err = xcbc.LoadScenario(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "clusterctl fleet run:", err)
+		return nil, 2
+	}
+	return sc, 0
+}

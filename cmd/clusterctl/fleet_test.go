@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runFleet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = fleetCmd(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFleetScenariosListsBuiltins(t *testing.T) {
+	code, out, _ := runFleet(t, "scenarios")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"campus-100", "rolling-update", "chaos-kickstart"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetRunUsageErrors(t *testing.T) {
+	if code, _, _ := runFleet(t); code != 2 {
+		t.Fatalf("no subcommand: exit %d, want 2", code)
+	}
+	if code, _, _ := runFleet(t, "warp"); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code, _, _ := runFleet(t, "run"); code != 2 {
+		t.Fatalf("run without scenario: exit %d, want 2", code)
+	}
+	if code, _, stderr := runFleet(t, "run", "no-such-scenario-or-file"); code != 2 {
+		t.Fatalf("unknown scenario: exit %d (%s), want 2", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","fleet":{"members":1},"phases":[{"kind":"warp"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runFleet(t, "run", bad); code != 2 || !strings.Contains(stderr, "invalid scenario") {
+		t.Fatalf("malformed file: exit %d stderr %q, want 2 + invalid scenario", code, stderr)
+	}
+}
+
+func TestFleetRunScenarioFile(t *testing.T) {
+	script := `{
+		"name": "cli-smoke", "seed": 3,
+		"fleet": {"members": 2, "nodes": 2, "workers": 2},
+		"phases": [
+			{"kind": "provision"},
+			{"kind": "jobs", "count": 1, "cores": 1, "runtime": "10m"},
+			{"kind": "assert", "invariants": [{"name": "all-ready"}, {"name": "jobs-conserved"}]}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, stderr := runFleet(t, "run", path, "-trace", trace, "-v")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "PASSED") || !strings.Contains(out, "2/2 ready") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"kind":"scenario.end"`)) {
+		t.Fatalf("trace file missing scenario.end:\n%s", data)
+	}
+
+	// Same seed, same trace — the CLI surfaces the determinism contract.
+	trace2 := filepath.Join(t.TempDir(), "trace2.jsonl")
+	if code, _, _ := runFleet(t, "run", path, "-trace", trace2); code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	data2, err := os.ReadFile(trace2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("same scenario and seed produced different traces through the CLI")
+	}
+
+	// A different seed is a different run (flags reach the engine).
+	code, out, _ = runFleet(t, "run", path, "-seed", "99")
+	if code != 0 {
+		t.Fatalf("seeded run exit %d", code)
+	}
+	if !strings.Contains(out, "seed 99") {
+		t.Fatalf("seed override not reported:\n%s", out)
+	}
+}
+
+func TestFleetRunViolationExitsOne(t *testing.T) {
+	script := `{
+		"name": "cli-fail", "seed": 1,
+		"fleet": {"members": 1, "nodes": 1, "workers": 1},
+		"phases": [
+			{"kind": "provision"},
+			{"kind": "assert", "invariants": [{"name": "min-ready", "limit": 5}]}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "fail.json")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runFleet(t, "run", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "min-ready") {
+		t.Fatalf("violation not reported:\n%s", out)
+	}
+}

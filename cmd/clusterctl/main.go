@@ -7,6 +7,12 @@
 //	clusterctl -cluster littlefe -scheduler torque
 //	clusterctl -cluster limulus -power on-demand
 //	clusterctl deploy -cluster littlefe -parallelism 8 -watch
+//	clusterctl fleet scenarios
+//	clusterctl fleet run campus-100 [-seed N] [-trace out.jsonl] [-v]
+//
+// The fleet subcommand drives the scenario engine locally: provision a
+// whole fleet of simulated clusters, inject seeded chaos, run day-2
+// operations, and check invariants, emitting a deterministic JSONL trace.
 //
 // The deploy subcommand drives the asynchronous orchestrator path: the
 // build starts as a background job; -watch streams its journal to the
@@ -54,6 +60,8 @@ func main() {
 		switch os.Args[1] {
 		case "deploy":
 			os.Exit(deployCmd(os.Args[2:]))
+		case "fleet":
+			os.Exit(fleetCmd(os.Args[2:], os.Stdout, os.Stderr))
 		case "jobs":
 			os.Exit(jobsCmd(os.Args[2:]))
 		case "metrics":

@@ -153,6 +153,28 @@ func (o *Operations) Jobs() []JobView {
 	return out
 }
 
+// FailNode marks a compute node failed — powered off, its running jobs
+// requeued, the node out of the schedulable pool — behind the adapter's
+// serialization. It is the day-2 fault-injection seam scenario scripts use.
+func (o *Operations) FailNode(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.d.Batch == nil {
+		return ErrNoScheduler
+	}
+	return o.d.Batch.NodeFail(name)
+}
+
+// RepairNode returns a failed node to service and reruns placement.
+func (o *Operations) RepairNode(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.d.Batch == nil {
+		return ErrNoScheduler
+	}
+	return o.d.Batch.NodeRepair(name)
+}
+
 // Exec runs one scheduler-native command line, serialized with every other
 // operation (submissions advance simulated install time on some paths).
 func (o *Operations) Exec(line string) (string, error) {

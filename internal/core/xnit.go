@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"xcbc/internal/depsolve"
@@ -87,12 +88,14 @@ var profiles = map[string][]string{
 	"monitoring": {"ganglia-gmond", "ganglia-gmetad"},
 }
 
-// Profiles lists the available profile names.
+// Profiles lists the available profile names, sorted — map order must not
+// leak into error messages or API responses.
 func Profiles() []string {
 	out := make([]string, 0, len(profiles))
 	for name := range profiles {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,498 @@
+// Package fleet manages many simulated clusters as one unit: N members,
+// each with its own hardware description and discrete-event engine, built
+// concurrently through the orchestrator's bounded worker pool and operated
+// through the day-2 Operations adapter once ready.
+//
+// A fleet is what the paper's XSEDE team actually ran: the same recipe
+// stamped out across many campuses, each with its own failure conditions.
+// The scenario engine (internal/scenario) drives a fleet through seeded
+// chaos scripts; this package keeps the mechanics — provisioning fan-out,
+// aggregate status, the shared XNIT repository, and the per-member
+// fault-injection seam — reusable on their own.
+//
+// Determinism contract: every member simulates on a private engine, so
+// concurrent builds never share a clock, and per-member results (install
+// duration, package counts, quarantine sets) are reproducible regardless
+// of how the worker pool interleaves builds. Anything order-dependent in
+// the fleet itself (the aggregate journal) is observability only and must
+// not feed a scenario trace.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"xcbc/internal/cluster"
+	"xcbc/internal/core"
+	"xcbc/internal/orchestrator"
+	"xcbc/internal/repo"
+	"xcbc/internal/sim"
+)
+
+// Sentinel errors; test with errors.Is.
+var (
+	// ErrBadSpec reports an invalid fleet specification.
+	ErrBadSpec = errors.New("fleet: bad spec")
+	// ErrAlreadyProvisioned reports a second Provision call.
+	ErrAlreadyProvisioned = errors.New("fleet: already provisioned")
+	// ErrNotProvisioned reports an operation that needs Provision first.
+	ErrNotProvisioned = errors.New("fleet: not provisioned")
+	// ErrMemberNotReady reports a day-2 operation on a member whose build
+	// has not reached the ready state.
+	ErrMemberNotReady = errors.New("fleet: member not ready")
+)
+
+// Spec describes a fleet: how many copies of which cataloged machine, and
+// how aggressively to build them.
+type Spec struct {
+	// Name labels the fleet; member IDs derive from it. Default "fleet".
+	Name string
+	// Members is the number of clusters; must be >= 1.
+	Members int
+	// Cluster is the catalog machine every member clones. Default
+	// "littlefe".
+	Cluster string
+	// Nodes overrides the compute-node count per member (0 = as cataloged).
+	Nodes int
+	// Scheduler is the batch system each member runs. Default "torque".
+	Scheduler string
+	// Parallelism is the per-member kickstart wave width (how many compute
+	// installs overlap inside one member's build).
+	Parallelism int
+	// Retries is the per-node install retry budget before quarantine.
+	Retries int
+	// Workers bounds how many member builds run concurrently across the
+	// whole fleet (0 = min(16, max(2, GOMAXPROCS))).
+	Workers int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "fleet"
+	}
+	if s.Cluster == "" {
+		s.Cluster = "littlefe"
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = "torque"
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+		if s.Workers < 2 {
+			s.Workers = 2
+		}
+		if s.Workers > 16 {
+			s.Workers = 16
+		}
+	}
+	return s
+}
+
+// Validate rejects impossible specs with ErrBadSpec.
+func (s Spec) Validate() error {
+	if s.Members < 1 {
+		return fmt.Errorf("%w: members must be >= 1, got %d", ErrBadSpec, s.Members)
+	}
+	if s.Nodes < 0 {
+		return fmt.Errorf("%w: negative node count %d", ErrBadSpec, s.Nodes)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("%w: negative parallelism %d", ErrBadSpec, s.Parallelism)
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("%w: negative retries %d", ErrBadSpec, s.Retries)
+	}
+	if s.Cluster != "" {
+		if _, err := cluster.FromCatalog(s.Cluster); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	return nil
+}
+
+// Fleet is a set of member clusters sharing one build pool and one cached
+// XNIT repository. All methods are safe for concurrent use.
+type Fleet struct {
+	spec    Spec
+	orch    *orchestrator.Orchestrator
+	journal *orchestrator.Journal
+	members []*Member
+
+	mu          sync.Mutex
+	provisioned bool
+
+	xnitOnce sync.Once
+	xnitRepo *repo.Repository
+	xnitErr  error
+}
+
+// New assembles a fleet from a spec: member hardware is stamped out
+// immediately (so Hardware is inspectable before any build), builds start
+// only at Provision.
+func New(spec Spec) (*Fleet, error) {
+	s := spec.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		spec: s,
+		orch: orchestrator.New(s.Workers),
+		// One lifecycle entry per member plus slack for fleet-level notes.
+		journal: orchestrator.NewJournal(2*s.Members + 16),
+	}
+	f.members = make([]*Member, s.Members)
+	for i := range f.members {
+		hw, err := cluster.FromCatalog(s.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		if s.Nodes > 0 {
+			if err := cluster.ResizeComputes(hw, s.Nodes); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			}
+		}
+		f.members[i] = &Member{
+			Index: i,
+			ID:    fmt.Sprintf("%s-%03d", s.Name, i),
+			fleet: f,
+			hw:    hw,
+		}
+	}
+	return f, nil
+}
+
+// Spec returns the fleet's effective (defaulted) specification.
+func (f *Fleet) Spec() Spec { return f.spec }
+
+// Len returns the member count.
+func (f *Fleet) Len() int { return len(f.members) }
+
+// Members returns the fleet's members in index order.
+func (f *Fleet) Members() []*Member { return append([]*Member(nil), f.members...) }
+
+// Member returns one member by index.
+func (f *Fleet) Member(i int) (*Member, bool) {
+	if i < 0 || i >= len(f.members) {
+		return nil, false
+	}
+	return f.members[i], true
+}
+
+// Provisioned reports whether Provision has been called (builds may still
+// be in flight).
+func (f *Fleet) Provisioned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.provisioned
+}
+
+// Journal returns the fleet's aggregate lifecycle journal: one entry as
+// each member's build settles. Entry order follows wall-clock completion
+// and is NOT deterministic — use per-member state for reproducible output.
+func (f *Fleet) Journal() *orchestrator.Journal { return f.journal }
+
+// Provision submits every member's build onto the fleet's worker pool and
+// returns immediately; at most Spec.Workers builds run concurrently while
+// the rest queue pending. Use Wait to block for the whole fleet. A second
+// call fails with ErrAlreadyProvisioned.
+func (f *Fleet) Provision(ctx context.Context) error {
+	f.mu.Lock()
+	if f.provisioned {
+		f.mu.Unlock()
+		return ErrAlreadyProvisioned
+	}
+	f.provisioned = true
+	f.mu.Unlock()
+	for _, m := range f.members {
+		m.submit(ctx, f.orch, f.spec)
+		go f.watch(m)
+	}
+	return nil
+}
+
+// watch appends one aggregate journal entry when a member's build settles.
+func (f *Fleet) watch(m *Member) {
+	<-m.job.Done()
+	st := m.job.State()
+	msg := st.String()
+	if d, ok := m.coreDeployment(); ok {
+		msg = fmt.Sprintf("%s: %d packages in %v (simulated)", st, d.PackagesInstalled, d.InstallDuration)
+		if len(d.Quarantined) > 0 {
+			msg += fmt.Sprintf(", %d quarantined", len(d.Quarantined))
+		}
+	} else if err := m.job.Err(); err != nil {
+		msg = fmt.Sprintf("%s: %v", st, err)
+	}
+	f.journal.Append(orchestrator.Event{Stage: "member", Node: m.ID, Message: msg})
+}
+
+// Wait blocks until every member's build settles or ctx expires. It
+// returns nil when all members are ready; otherwise the first non-nil
+// member build error (members that merely got cancelled surface their
+// context error).
+func (f *Fleet) Wait(ctx context.Context) error {
+	f.mu.Lock()
+	started := f.provisioned
+	f.mu.Unlock()
+	if !started {
+		return ErrNotProvisioned
+	}
+	var firstErr error
+	for _, m := range f.members {
+		if _, err := m.job.Wait(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: member %s: %w", m.ID, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Cancel asks every in-flight member build to stop; settled members are
+// unaffected. Safe before Provision (a no-op).
+func (f *Fleet) Cancel() {
+	for _, m := range f.members {
+		m.mu.Lock()
+		job := m.job
+		m.mu.Unlock()
+		if job != nil {
+			job.Cancel()
+		}
+	}
+}
+
+// Status is an aggregate snapshot of the fleet's lifecycle.
+type Status struct {
+	Members     int
+	Pending     int
+	Building    int
+	Ready       int
+	Failed      int
+	Cancelled   int
+	Quarantined int // quarantined compute nodes across ready members
+}
+
+// Settled reports whether every member reached a terminal state.
+func (s Status) Settled() bool {
+	return s.Pending == 0 && s.Building == 0 && s.Members > 0
+}
+
+// Status counts members by state. Members not yet provisioned count as
+// pending.
+func (f *Fleet) Status() Status {
+	st := Status{Members: len(f.members)}
+	for _, m := range f.members {
+		switch m.State() {
+		case orchestrator.StatePending:
+			st.Pending++
+		case orchestrator.StateBuilding:
+			st.Building++
+		case orchestrator.StateReady:
+			st.Ready++
+			if d, ok := m.coreDeployment(); ok {
+				st.Quarantined += len(d.Quarantined)
+			}
+		case orchestrator.StateFailed:
+			st.Failed++
+		case orchestrator.StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// XNITRepo builds the shared XSEDE repository on first use and returns the
+// cached instance afterwards: one Publish of the full catalog serves every
+// member, which is what makes fleet-wide update rollouts affordable.
+func (f *Fleet) XNITRepo() (*repo.Repository, error) {
+	f.xnitOnce.Do(func() {
+		f.xnitRepo, f.xnitErr = core.NewXNITRepository()
+	})
+	return f.xnitRepo, f.xnitErr
+}
+
+// Member is one cluster of the fleet. All methods are safe for concurrent
+// use.
+type Member struct {
+	Index int
+	ID    string
+
+	fleet *Fleet
+	hw    *cluster.Cluster
+
+	mu   sync.Mutex
+	hook func(node string, attempt int) error
+	job  *orchestrator.Job
+	ops  *core.Operations
+}
+
+// Hardware returns the member's hardware description.
+func (m *Member) Hardware() *cluster.Cluster { return m.hw }
+
+// SetInstallHook arms the member's fault-injection seam: fn runs before
+// every node install attempt of this member's build (attempt numbering
+// starts at 1); an error fails that attempt. Arm it before Provision —
+// arming mid-build affects only attempts that have not started yet.
+func (m *Member) SetInstallHook(fn func(node string, attempt int) error) {
+	m.mu.Lock()
+	m.hook = fn
+	m.mu.Unlock()
+}
+
+// runHook invokes the currently armed hook, if any.
+func (m *Member) runHook(node string, attempt int) error {
+	m.mu.Lock()
+	fn := m.hook
+	m.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(node, attempt)
+}
+
+// submit queues the member's build on the pool.
+func (m *Member) submit(ctx context.Context, orch *orchestrator.Orchestrator, spec Spec) {
+	eng := sim.NewEngine()
+	hw := m.hw
+	opts := core.Options{
+		Scheduler:   spec.Scheduler,
+		Parallelism: spec.Parallelism,
+		Retries:     spec.Retries,
+		InstallHook: m.runHook,
+	}
+	job := orch.Submit(ctx, m.ID, 0, func(jctx context.Context, emit func(orchestrator.Event) int) (any, error) {
+		o := opts
+		o.Progress = func(ev core.BuildEvent) {
+			emit(orchestrator.Event{Stage: ev.Stage, Node: ev.Node, Message: ev.Message,
+				Packages: ev.Packages, Elapsed: ev.Elapsed})
+		}
+		return core.BuildXCBCContext(jctx, eng, hw, o)
+	})
+	m.mu.Lock()
+	m.job = job
+	m.mu.Unlock()
+}
+
+// State returns the member's build lifecycle state (StatePending before
+// Provision).
+func (m *Member) State() orchestrator.State {
+	m.mu.Lock()
+	job := m.job
+	m.mu.Unlock()
+	if job == nil {
+		return orchestrator.StatePending
+	}
+	return job.State()
+}
+
+// Err returns the member's terminal build error, nil while in flight and
+// on success.
+func (m *Member) Err() error {
+	m.mu.Lock()
+	job := m.job
+	m.mu.Unlock()
+	if job == nil {
+		return nil
+	}
+	return job.Err()
+}
+
+// Events returns the member's build journal from cursor, plus the next
+// cursor; empty before Provision.
+func (m *Member) Events(cursor int) ([]orchestrator.Event, int) {
+	m.mu.Lock()
+	job := m.job
+	m.mu.Unlock()
+	if job == nil {
+		return nil, cursor
+	}
+	return job.Events(cursor)
+}
+
+// Cancel asks the member's build to stop; a no-op before Provision and
+// after a terminal state.
+func (m *Member) Cancel() {
+	m.mu.Lock()
+	job := m.job
+	m.mu.Unlock()
+	if job != nil {
+		job.Cancel()
+	}
+}
+
+// coreDeployment returns the built deployment once ready.
+func (m *Member) coreDeployment() (*core.Deployment, bool) {
+	m.mu.Lock()
+	job := m.job
+	m.mu.Unlock()
+	if job == nil {
+		return nil, false
+	}
+	result, ok := job.Result()
+	if !ok {
+		return nil, false
+	}
+	d, ok := result.(*core.Deployment)
+	return d, ok
+}
+
+// Deployment returns the member's built deployment and true once the build
+// is ready; nil and false before that. It never blocks.
+func (m *Member) Deployment() (*core.Deployment, bool) { return m.coreDeployment() }
+
+// Operations returns the member's day-2 adapter, created once per member
+// so every consumer shares one serialization point over the member's
+// engine. It fails with ErrMemberNotReady until the build settles ready.
+func (m *Member) Operations() (*core.Operations, error) {
+	m.mu.Lock()
+	if m.ops != nil {
+		ops := m.ops
+		m.mu.Unlock()
+		return ops, nil
+	}
+	job := m.job
+	m.mu.Unlock()
+	if job == nil {
+		return nil, fmt.Errorf("%w: %s not provisioned", ErrMemberNotReady, m.ID)
+	}
+	result, ok := job.Result()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is %s", ErrMemberNotReady, m.ID, job.State())
+	}
+	d, ok := result.(*core.Deployment)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s build produced no deployment", ErrMemberNotReady, m.ID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ops == nil {
+		m.ops = core.NewOperations(d)
+	}
+	return m.ops, nil
+}
+
+// AdoptXNIT attaches the fleet's shared XSEDE repository to the member's
+// deployment (idempotent), making cluster-wide installs and update checks
+// possible. The repository object is shared across the fleet; repo.Set is
+// concurrency-safe, and each member gets its own Set entry.
+func (m *Member) AdoptXNIT() error {
+	d, ok := m.coreDeployment()
+	if !ok {
+		return fmt.Errorf("%w: %s is %s", ErrMemberNotReady, m.ID, m.State())
+	}
+	if d.Repos.Lookup(core.XNITRepoID) != nil {
+		return nil
+	}
+	xnit, err := m.fleet.XNITRepo()
+	if err != nil {
+		return err
+	}
+	core.ConfigureXNIT(d, xnit)
+	return nil
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import "time"
+
+// Built-in scenarios: the named scripts every future scale or performance
+// PR is validated against. They are constructed (not parsed) so the
+// package has no test-data dependency, but each round-trips through
+// Decode in the tests to guarantee the JSON form stays loadable.
+
+// Builtins lists the built-in scenario names, in a fixed curated order.
+func Builtins() []string {
+	return []string{"campus-100", "rolling-update", "chaos-kickstart"}
+}
+
+// Builtin returns a fresh copy of a named built-in scenario, or nil for an
+// unknown name.
+func Builtin(name string) *Scenario {
+	var sc Scenario
+	switch name {
+	case "campus-100":
+		// The paper's pitch at fleet scale: one recipe, one hundred
+		// campuses. Clean provision, a uniform batch workload, and strict
+		// invariants — the baseline every chaos run is diffed against.
+		sc = Scenario{
+			Name:        "campus-100",
+			Description: "provision 100 campus clusters, run a uniform workload, assert a clean fleet",
+			Seed:        42,
+			Fleet:       FleetSpec{Members: 100, Cluster: "littlefe", Nodes: 4, Parallelism: 4, Workers: 8},
+			Phases: []Phase{
+				{Kind: KindProvision},
+				{Kind: KindJobs, Count: 2, Cores: 2, Runtime: 30 * minute, Walltime: 60 * minute},
+				{Kind: KindAdvance, Duration: 60 * minute},
+				{Kind: KindMetrics},
+				{Kind: KindAssert, Invariants: []Invariant{
+					{Name: InvAllReady},
+					{Name: InvMaxQuarantined, Limit: 0},
+					{Name: InvJobsConserved},
+				}},
+			},
+		}
+	case "rolling-update":
+		// Day-2 software currency at fleet scale: publish one update to
+		// the shared XNIT repository, roll it out in waves of five, and
+		// prove no member or job was disturbed.
+		sc = Scenario{
+			Name:        "rolling-update",
+			Description: "wave-parallel update rollout across a 20-member fleet",
+			Seed:        7,
+			Fleet:       FleetSpec{Members: 20, Cluster: "littlefe", Nodes: 3, Parallelism: 3, Workers: 8},
+			Phases: []Phase{
+				{Kind: KindProvision},
+				{Kind: KindJobs, Count: 1, Cores: 1, Runtime: 20 * minute},
+				{Kind: KindRollout, Wave: 5, Policy: "auto-apply", Package: "openmpi", Version: "99.0-1"},
+				{Kind: KindAdvance, Duration: 30 * minute},
+				{Kind: KindMetrics},
+				{Kind: KindAssert, Invariants: []Invariant{
+					{Name: InvAllReady},
+					{Name: InvJobsConserved},
+				}},
+			},
+		}
+	case "chaos-kickstart":
+		// The hardening story: seeded kickstart failures with one retry,
+		// day-2 node failures and a job flood on the survivors, and
+		// invariants that bound — not forbid — the damage.
+		sc = Scenario{
+			Name:        "chaos-kickstart",
+			Description: "seeded kickstart chaos, node failures, and a job flood across 32 clusters",
+			Seed:        1337,
+			Fleet:       FleetSpec{Members: 32, Cluster: "littlefe", Nodes: 4, Parallelism: 2, Retries: 1, Workers: 8},
+			Phases: []Phase{
+				{Kind: KindFault, Fault: FaultKickstart, Probability: 0.15},
+				{Kind: KindProvision},
+				{Kind: KindJobs, Count: 2, Cores: 1, Runtime: 15 * minute},
+				{Kind: KindFault, Fault: FaultQuarantine, Count: 1},
+				{Kind: KindFault, Fault: FaultJobFlood, Count: 10, MaxCores: 2},
+				{Kind: KindCancel, Count: 3},
+				{Kind: KindAdvance, Duration: 120 * minute},
+				{Kind: KindMetrics},
+				{Kind: KindAssert, Invariants: []Invariant{
+					{Name: InvMinReady, Limit: 30},
+					// Bounds build quarantines AND the day-2 node failures
+					// the quarantine fault injects (1 per ready member).
+					{Name: InvMaxQuarantined, Limit: 56},
+					{Name: InvJobsConserved},
+				}},
+			},
+		}
+	default:
+		return nil
+	}
+	return &sc
+}
+
+const minute = Duration(time.Minute)

@@ -1,0 +1,57 @@
+package scenario
+
+import "testing"
+
+// FuzzScenarioDecode hardens the scenario decoder: whatever bytes arrive
+// (malformed phases, negative counts, unknown fault kinds, truncated JSON),
+// Decode must either return a valid scenario or an error — never panic —
+// and anything it accepts must survive an encode/decode round trip.
+func FuzzScenarioDecode(f *testing.F) {
+	// Seed corpus: the builtins, a minimal valid script, and a pile of
+	// near-misses for each validation rule.
+	for _, name := range Builtins() {
+		data, err := Builtin(name).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seeds := []string{
+		`{"name":"t","seed":1,"fleet":{"members":1},"phases":[{"kind":"provision"}]}`,
+		`{"name":"t","fleet":{"members":-5},"phases":[{"kind":"provision"}]}`,
+		`{"name":"t","fleet":{"members":1},"phases":[{"kind":"fault","fault":"gremlins"}]}`,
+		`{"name":"t","fleet":{"members":1},"phases":[{"kind":"jobs","count":-2}]}`,
+		`{"name":"t","fleet":{"members":1},"phases":[{"kind":"advance","duration":"-10m"}]}`,
+		`{"name":"t","fleet":{"members":1},"phases":[{"kind":"assert","invariants":[{"name":"max-quarantined","limit":-9}]}]}`,
+		`{"name":"t","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":1e308}]}`,
+		`{"phases":null}`,
+		`[]`,
+		`null`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(data)
+		if err != nil {
+			if sc != nil {
+				t.Fatal("Decode returned both a scenario and an error")
+			}
+			return
+		}
+		// Whatever Decode accepts must be internally valid and stable
+		// under a round trip.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid scenario: %v", err)
+		}
+		out, err := sc.Encode()
+		if err != nil {
+			t.Fatalf("Encode of accepted scenario failed: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

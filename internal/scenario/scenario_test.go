@@ -1,0 +1,353 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xcbc/internal/fleet"
+)
+
+// -update rewrites the golden trace files from the current implementation:
+//
+//	go test ./internal/scenario/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+func TestDecodeValid(t *testing.T) {
+	data := []byte(`{
+		"name": "tiny",
+		"seed": 9,
+		"fleet": {"members": 2, "cluster": "littlefe", "nodes": 2},
+		"phases": [
+			{"kind": "provision"},
+			{"kind": "jobs", "count": 1, "runtime": "30m"},
+			{"kind": "assert", "invariants": [{"name": "all-ready"}]}
+		]
+	}`)
+	sc, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" || sc.Seed != 9 || len(sc.Phases) != 3 {
+		t.Fatalf("decoded %+v", sc)
+	}
+	if got := time.Duration(sc.Phases[1].Runtime); got != 30*time.Minute {
+		t.Fatalf("runtime = %v, want 30m", got)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", `{`},
+		{"trailing garbage", `{"name":"x","seed":1,"fleet":{"members":1},"phases":[{"kind":"provision"}]} extra`},
+		{"unknown top field", `{"name":"x","bogus":1,"fleet":{"members":1},"phases":[{"kind":"provision"}]}`},
+		{"unknown phase field", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"provision","frobnicate":true}]}`},
+		{"missing name", `{"fleet":{"members":1},"phases":[{"kind":"provision"}]}`},
+		{"zero members", `{"name":"x","fleet":{"members":0},"phases":[{"kind":"provision"}]}`},
+		{"negative members", `{"name":"x","fleet":{"members":-3},"phases":[{"kind":"provision"}]}`},
+		{"unknown machine", `{"name":"x","fleet":{"members":1,"cluster":"deep-thought"},"phases":[{"kind":"provision"}]}`},
+		{"no phases", `{"name":"x","fleet":{"members":1},"phases":[]}`},
+		{"unknown phase kind", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"explode"}]}`},
+		{"missing phase kind", `{"name":"x","fleet":{"members":1},"phases":[{}]}`},
+		{"unknown fault kind", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"gremlins","probability":0.5}]}`},
+		{"missing fault kind", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault"}]}`},
+		{"negative count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":-1}]}`},
+		{"zero jobs count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs"}]}`},
+		{"probability too big", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":1.5}]}`},
+		{"probability negative", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":-0.1}]}`},
+		{"bad duration", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"advance","duration":"soon"}]}`},
+		{"duration not string", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"advance","duration":30}]}`},
+		{"advance without duration", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"advance"}]}`},
+		{"unknown rollout policy", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"rollout","policy":"yolo"}]}`},
+		{"rollout package without version", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"rollout","package":"openmpi"}]}`},
+		{"assert without invariants", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"assert"}]}`},
+		{"unknown invariant", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"assert","invariants":[{"name":"world-peace"}]}]}`},
+		{"invariant negative limit", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"assert","invariants":[{"name":"min-ready","limit":-1}]}]}`},
+		{"limit on all-ready", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"assert","invariants":[{"name":"all-ready","limit":3}]}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Decode([]byte(tc.data)); !errors.Is(err, ErrBadScenario) {
+			t.Errorf("%s: Decode = %v, want ErrBadScenario", tc.name, err)
+		}
+	}
+}
+
+func TestBuiltinsDecodeRoundTrip(t *testing.T) {
+	names := Builtins()
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 builtins, got %v", names)
+	}
+	for _, name := range names {
+		sc := Builtin(name)
+		if sc == nil {
+			t.Fatalf("Builtin(%q) = nil", name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := sc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: round-trip: %v", name, err)
+		}
+		if back.Name != sc.Name || len(back.Phases) != len(sc.Phases) {
+			t.Fatalf("%s: round-trip mutated the scenario", name)
+		}
+	}
+	if Builtin("no-such-scenario") != nil {
+		t.Fatal("unknown builtin must return nil")
+	}
+}
+
+// TestGoldenTraces runs every built-in scenario twice with its fixed seed
+// and requires (a) the two traces to be byte-identical and (b) both to
+// match the committed golden file. Regenerate goldens with -update.
+func TestGoldenTraces(t *testing.T) {
+	for _, name := range Builtins() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first, err := Run(context.Background(), Builtin(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(context.Background(), Builtin(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := first.TraceJSONL(), second.TraceJSONL()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed, diverging traces:\n%s", firstDiff(a, b))
+			}
+			if !first.Passed {
+				t.Fatalf("builtin %s violated its own invariants: %v", name, first.Violations)
+			}
+
+			golden := filepath.Join("testdata", "scenario-"+name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, a, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(a, want) {
+				t.Fatalf("trace deviates from %s (intentional? rerun with -update):\n%s",
+					golden, firstDiff(a, want))
+			}
+		})
+	}
+}
+
+// firstDiff points at the first line where two traces part ways.
+func firstDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestTraceDeterminismAcrossRuns is the determinism-leak tripwire: a small
+// chaos scenario — every fault class armed — run 10 times must produce one
+// unique trace. A map-iteration-order or wall-clock dependency anywhere in
+// sim, provision, sched, or the runner shows up here as a second variant.
+func TestTraceDeterminismAcrossRuns(t *testing.T) {
+	sc := &Scenario{
+		Name: "determinism-probe",
+		Seed: 99,
+		Fleet: FleetSpec{
+			Members: 4, Cluster: "littlefe", Nodes: 3, Parallelism: 2, Retries: 1, Workers: 4,
+		},
+		Phases: []Phase{
+			{Kind: KindFault, Fault: FaultKickstart, Probability: 0.2},
+			{Kind: KindProvision},
+			{Kind: KindJobs, Count: 2, Cores: 1, Runtime: 10 * minute},
+			{Kind: KindFault, Fault: FaultQuarantine, Count: 1},
+			{Kind: KindFault, Fault: FaultJobFlood, Count: 5, MaxCores: 2},
+			{Kind: KindFault, Fault: FaultRepoOutage, Probability: 0.5},
+			{Kind: KindCancel, Count: 2},
+			{Kind: KindAdvance, Duration: 60 * minute},
+			{Kind: KindRollout, Wave: 2, Policy: "auto-apply", Package: "openmpi", Version: "99.0-1"},
+			{Kind: KindMetrics},
+			{Kind: KindAssert, Invariants: []Invariant{{Name: InvJobsConserved}}},
+		},
+	}
+	var ref []byte
+	for i := 0; i < 10; i++ {
+		res, err := Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := res.TraceJSONL()
+		if i == 0 {
+			ref = trace
+			continue
+		}
+		if !bytes.Equal(trace, ref) {
+			t.Fatalf("run %d diverged from run 0:\n%s", i, firstDiff(trace, ref))
+		}
+	}
+}
+
+// TestSequentialRunsConserveJobs guards the jobs-conserved baseline: a
+// second scenario run on the same fleet must not count the first run's
+// jobs as "lost" (or as its own).
+func TestSequentialRunsConserveJobs(t *testing.T) {
+	sc := &Scenario{
+		Name:  "repeat",
+		Seed:  4,
+		Fleet: FleetSpec{Members: 2, Nodes: 2, Workers: 2},
+		Phases: []Phase{
+			{Kind: KindProvision},
+			{Kind: KindJobs, Count: 2, Cores: 1, Runtime: 10 * minute},
+			{Kind: KindAssert, Invariants: []Invariant{{Name: InvJobsConserved}}},
+		},
+	}
+	fl, err := fleet.New(sc.FleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := RunOn(context.Background(), fl, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed {
+			t.Fatalf("run %d: violations %v (jobs from earlier runs miscounted)", i, res.Violations)
+		}
+		if res.Stats.JobsSubmitted != 4 {
+			t.Fatalf("run %d: submitted %d, want 4 (this run only)", i, res.Stats.JobsSubmitted)
+		}
+	}
+}
+
+// TestKickstartFaultNeedsFreshFleet guards the determinism contract: a
+// scenario arming kickstart faults cannot run on a fleet whose builds
+// already started — the hooks would only catch a wall-clock-dependent
+// subset of install attempts.
+func TestKickstartFaultNeedsFreshFleet(t *testing.T) {
+	sc := &Scenario{
+		Name:  "late-chaos",
+		Seed:  1,
+		Fleet: FleetSpec{Members: 1, Nodes: 1, Workers: 1},
+		Phases: []Phase{
+			{Kind: KindFault, Fault: FaultKickstart, Probability: 0.5},
+			{Kind: KindProvision},
+		},
+	}
+	fl, err := fleet.New(sc.FleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Provision(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOn(context.Background(), fl, sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("RunOn on provisioned fleet = %v, want ErrBadScenario", err)
+	}
+}
+
+// TestQuarantineFaultCountsInInvariant guards that the max-quarantined
+// bound covers day-2 node failures, not just build quarantines.
+func TestQuarantineFaultCountsInInvariant(t *testing.T) {
+	sc := &Scenario{
+		Name:  "day2-damage",
+		Seed:  6,
+		Fleet: FleetSpec{Members: 2, Nodes: 3, Workers: 2},
+		Phases: []Phase{
+			{Kind: KindProvision},
+			{Kind: KindFault, Fault: FaultQuarantine, Count: 1},
+			{Kind: KindAssert, Invariants: []Invariant{{Name: InvMaxQuarantined, Limit: 0}}},
+		},
+	}
+	res, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("limit 0 passed despite 2 day-2 node failures")
+	}
+	if res.Stats.QuarantinedNodes != 2 {
+		t.Fatalf("stats.QuarantinedNodes = %d, want 2", res.Stats.QuarantinedNodes)
+	}
+}
+
+func TestRunOnFleetSizeMismatch(t *testing.T) {
+	sc := &Scenario{
+		Name:   "mismatch",
+		Fleet:  FleetSpec{Members: 3},
+		Phases: []Phase{{Kind: KindProvision}},
+	}
+	// Aim the 3-member scenario at a 2-member fleet.
+	fl, err := fleet.New(fleet.Spec{Members: 2, Nodes: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOn(context.Background(), fl, sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("RunOn mismatch = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestAssertViolationFailsScenario(t *testing.T) {
+	sc := &Scenario{
+		Name:  "impossible",
+		Seed:  1,
+		Fleet: FleetSpec{Members: 2, Nodes: 1, Workers: 2},
+		Phases: []Phase{
+			{Kind: KindProvision},
+			{Kind: KindAssert, Invariants: []Invariant{{Name: InvMinReady, Limit: 3}}},
+		},
+	}
+	res, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed || len(res.Violations) != 1 {
+		t.Fatalf("passed=%v violations=%v, want a min-ready violation", res.Passed, res.Violations)
+	}
+	var sawViolation bool
+	for _, ev := range res.Events {
+		if ev.Kind == "assert.violation" {
+			sawViolation = true
+		}
+	}
+	if !sawViolation {
+		t.Fatal("no assert.violation event in trace")
+	}
+}
+
+func TestCancelledContextStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := &Scenario{
+		Name:   "cancelled",
+		Fleet:  FleetSpec{Members: 1, Nodes: 1},
+		Phases: []Phase{{Kind: KindProvision}},
+	}
+	if _, err := Run(ctx, sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+)
+
+// Event is one entry of a scenario trace. Field order is the wire order;
+// for a given scenario and seed the full trace is byte-identical across
+// runs (the golden-trace regression tests enforce this).
+type Event struct {
+	Seq    int    `json:"seq"`
+	Phase  int    `json:"phase"` // index into Scenario.Phases, -1 for scenario-level entries
+	Kind   string `json:"kind"`
+	Member string `json:"member,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stats aggregates a finished run.
+type Stats struct {
+	Members          int           `json:"members"`
+	Ready            int           `json:"ready"`
+	Failed           int           `json:"failed"`
+	Cancelled        int           `json:"cancelled"`
+	QuarantinedNodes int           `json:"quarantined_nodes"`
+	JobsSubmitted    int           `json:"jobs_submitted"`
+	JobsCancelled    int           `json:"jobs_cancelled"`
+	UpdatesApplied   int           `json:"updates_applied"`
+	SimulatedEnd     time.Duration `json:"simulated_end"` // max member virtual now
+}
+
+// Result is a finished scenario run.
+type Result struct {
+	Scenario   string   `json:"scenario"`
+	Seed       int64    `json:"seed"`
+	Passed     bool     `json:"passed"`
+	Violations []string `json:"violations,omitempty"`
+	Stats      Stats    `json:"stats"`
+	Events     []Event  `json:"events"`
+}
+
+// TraceJSONL renders the event trace as JSON lines, one event per line —
+// the machine-readable artifact golden tests compare byte-for-byte.
+func (r *Result) TraceJSONL() []byte {
+	var buf bytes.Buffer
+	for _, ev := range r.Events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			// Event contains only plain strings and ints; Marshal cannot
+			// fail. Keep the trace well-formed regardless.
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

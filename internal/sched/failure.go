@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"xcbc/internal/cluster"
 )
@@ -26,13 +27,17 @@ func (m *Manager) NodeFail(name string) error {
 	if n.Role == cluster.RoleFrontend {
 		return fmt.Errorf("sched: frontend failure takes the whole cluster down; not schedulable")
 	}
-	// Identify victims before mutating state.
+	// Identify victims before mutating state. m.running is a map; requeue
+	// in ID order so the queue's insertion order — which a policy without a
+	// full tie-break (and the stable queue sort) would expose — never
+	// depends on map iteration. Seeded scenario traces rely on this.
 	var victims []*Job
 	for _, j := range m.running {
 		if _, usesNode := j.Alloc[name]; usesNode {
 			victims = append(victims, j)
 		}
 	}
+	sort.Slice(victims, func(i, k int) bool { return victims[i].ID < victims[k].ID })
 	for _, j := range victims {
 		// Release all of the job's cores (including on healthy nodes).
 		m.Engine.Cancel(j.finish) // no-op for fired, cancelled, or zero handles

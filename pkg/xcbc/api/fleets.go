@@ -1,0 +1,441 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"xcbc/pkg/xcbc"
+)
+
+// This file serves the fleet-scale surface: /api/v1/fleets mirrors
+// pkg/xcbc's Fleet and RunScenario. A fleet is created (and by default
+// provisioned) asynchronously with POST; scenario runs against a fleet are
+// asynchronous jobs of their own, one at a time per fleet so the seeded
+// trace stays deterministic.
+
+// Caps on a single fleet creation request so one POST cannot commit the
+// control plane to unbounded memory or CPU: member count, per-member
+// compute nodes, and the product (total simulated nodes) are all bounded.
+const (
+	maxFleetMembers    = 2048
+	maxNodesPerMember  = 256
+	maxFleetTotalNodes = 16384
+)
+
+// fleetRecord is one managed fleet plus its scenario run history.
+type fleetRecord struct {
+	ID      string
+	Name    string
+	Created time.Time
+	Fleet   *xcbc.Fleet
+
+	mu      sync.Mutex
+	runs    []*scenarioRun
+	nextRun int
+	runLive bool // a scenario is currently executing
+}
+
+// scenarioRun is one asynchronous scenario execution.
+type scenarioRun struct {
+	ID       string
+	Scenario string
+	Created  time.Time
+	done     chan struct{}
+
+	mu     sync.Mutex
+	state  string // "running", "passed", "failed", "error"
+	result *xcbc.ScenarioResult
+	err    error
+}
+
+func (r *scenarioRun) snapshot() (state string, result *xcbc.ScenarioResult, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state, r.result, r.err
+}
+
+// createFleetRequest provisions a new fleet of simulated clusters.
+type createFleetRequest struct {
+	Name        string `json:"name"`
+	Members     int    `json:"members"`
+	Cluster     string `json:"cluster"`
+	Nodes       int    `json:"nodes"`
+	Scheduler   string `json:"scheduler"`
+	Parallelism int    `json:"parallelism"`
+	Retries     int    `json:"retries"`
+	Workers     int    `json:"workers"`
+	// Provision defaults to true; set false to create the fleet resource
+	// without starting builds (a scenario's provision phase can start them
+	// later).
+	Provision *bool `json:"provision"`
+}
+
+// fleetMemberInfo is the JSON shape of one fleet member.
+type fleetMemberInfo struct {
+	ID    string `json:"id"`
+	Index int    `json:"index"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// fleetInfo is the JSON shape of one fleet.
+type fleetInfo struct {
+	ID        string            `json:"id"`
+	Name      string            `json:"name"`
+	Created   time.Time         `json:"created"`
+	Status    xcbc.FleetStatus  `json:"status"`
+	Settled   bool              `json:"settled"`
+	Scenarios int               `json:"scenarios"`
+	Members   []fleetMemberInfo `json:"members,omitempty"`
+}
+
+func (s *Server) fleetInfoOf(fr *fleetRecord, withMembers bool) fleetInfo {
+	st := fr.Fleet.Status()
+	fr.mu.Lock()
+	runs := len(fr.runs)
+	fr.mu.Unlock()
+	info := fleetInfo{
+		ID: fr.ID, Name: fr.Name, Created: fr.Created,
+		Status: st, Settled: st.Settled(), Scenarios: runs,
+	}
+	if withMembers {
+		for _, m := range fr.Fleet.Members() {
+			mi := fleetMemberInfo{ID: m.ID(), Index: m.Index(), State: string(m.Status())}
+			if err := m.Err(); err != nil {
+				mi.Error = err.Error()
+			}
+			info.Members = append(info.Members, mi)
+		}
+	}
+	return info
+}
+
+func (s *Server) lookupFleet(id string) (*fleetRecord, bool) {
+	s.mu.RLock()
+	fr, ok := s.fleets[id]
+	s.mu.RUnlock()
+	return fr, ok
+}
+
+func (s *Server) handleFleets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	frs := make([]*fleetRecord, 0, len(s.fleets))
+	for _, fr := range s.fleets {
+		frs = append(frs, fr)
+	}
+	s.mu.RUnlock()
+	sort.Slice(frs, func(i, j int) bool { return frs[i].ID < frs[j].ID })
+	out := make([]fleetInfo, 0, len(frs))
+	for _, fr := range frs {
+		out = append(out, s.fleetInfoOf(fr, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fleets": out})
+}
+
+// handleCreateFleet validates the request synchronously, then starts
+// provisioning in the background and answers 202 Accepted with the fleet
+// in its initial state.
+func (s *Server) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
+	var req createFleetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Members > maxFleetMembers {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("members exceeds the per-fleet cap of %d", maxFleetMembers))
+		return
+	}
+	if req.Nodes > maxNodesPerMember {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("nodes exceeds the per-member cap of %d", maxNodesPerMember))
+		return
+	}
+	// Catalog machines top out below 256 computes, so nodes==0 (as
+	// cataloged) is already covered by the member cap.
+	if req.Nodes > 0 && req.Members > 0 && req.Members*req.Nodes > maxFleetTotalNodes {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("members*nodes exceeds the fleet-wide cap of %d simulated nodes", maxFleetTotalNodes))
+		return
+	}
+	fl, err := xcbc.NewFleet(xcbc.FleetSpec{
+		Name: req.Name, Members: req.Members, Cluster: req.Cluster,
+		Nodes: req.Nodes, Scheduler: req.Scheduler,
+		Parallelism: req.Parallelism, Retries: req.Retries, Workers: req.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Builds must outlive this request; they stop via DELETE.
+	if req.Provision == nil || *req.Provision {
+		if err := fl.Provision(context.Background()); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	s.mu.Lock()
+	s.nextFleetID++
+	fr := &fleetRecord{
+		ID:      fmt.Sprintf("f%d", s.nextFleetID),
+		Name:    req.Name,
+		Created: s.clock(),
+		Fleet:   fl,
+	}
+	s.fleets[fr.ID] = fr
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, s.fleetInfoOf(fr, true))
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	fr, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleetInfoOf(fr, true))
+}
+
+// handleDeleteFleet mirrors the deployment contract: an unsettled fleet is
+// cancelled (202, record kept so the cancellation can be observed); a
+// settled one is removed (204). A fleet with a scenario run still
+// executing cannot be removed — deleting it would orphan the run and its
+// trace — so that answers 409 until the run settles.
+func (s *Server) handleDeleteFleet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	fr, ok := s.fleets[id]
+	if ok {
+		fr.mu.Lock()
+		live := fr.runLive
+		fr.mu.Unlock()
+		if live {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict,
+				"a scenario is still running on this fleet; wait for it to settle before deleting")
+			return
+		}
+		if fr.Fleet.Status().Settled() {
+			delete(s.fleets, id)
+			s.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	fr.Fleet.Cancel()
+	writeJSON(w, http.StatusAccepted, s.fleetInfoOf(fr, false))
+}
+
+// runScenarioRequest starts a scenario against a fleet: either a built-in
+// by name, or an inline scenario document.
+type runScenarioRequest struct {
+	Name     string          `json:"name"`     // built-in scenario name
+	Scenario json.RawMessage `json:"scenario"` // or an inline script
+}
+
+// scenarioRunInfo is the JSON shape of one scenario run. Events carries
+// the trace slice requested via ?cursor=N once the run settles.
+type scenarioRunInfo struct {
+	ID         string              `json:"id"`
+	Scenario   string              `json:"scenario"`
+	State      string              `json:"state"`
+	Created    time.Time           `json:"created"`
+	Error      string              `json:"error,omitempty"`
+	Passed     bool                `json:"passed"`
+	Violations []string            `json:"violations,omitempty"`
+	Stats      *xcbc.ScenarioStats `json:"stats,omitempty"`
+	Events     []xcbc.TraceEvent   `json:"events,omitempty"`
+	NextCursor int                 `json:"next_cursor"`
+}
+
+func runInfoOf(run *scenarioRun, withEvents bool, cursor int) scenarioRunInfo {
+	state, result, err := run.snapshot()
+	info := scenarioRunInfo{
+		ID: run.ID, Scenario: run.Scenario, State: state, Created: run.Created,
+	}
+	if err != nil {
+		info.Error = err.Error()
+	}
+	if result != nil {
+		info.Passed = result.Passed()
+		info.Violations = result.Violations()
+		st := result.Stats()
+		info.Stats = &st
+		trace := result.Trace()
+		info.NextCursor = len(trace)
+		if withEvents {
+			if cursor > len(trace) {
+				cursor = len(trace)
+			}
+			info.Events = trace[cursor:]
+		}
+	}
+	return info
+}
+
+// handleRunScenario starts one scenario run on a fleet: 202 Accepted with
+// the run in state "running". One run at a time per fleet — concurrent
+// scenarios would interleave day-2 operations and break the seeded trace —
+// so a second request while one is live answers 409 Conflict.
+func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
+	fr, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	var req runScenarioRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var sc *xcbc.Scenario
+	var err error
+	switch {
+	case req.Name != "" && len(req.Scenario) > 0:
+		writeError(w, http.StatusBadRequest, "give either a built-in name or an inline scenario, not both")
+		return
+	case req.Name != "":
+		sc, err = xcbc.BuiltinScenario(req.Name)
+		if errors.Is(err, xcbc.ErrUnknownScenario) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+	case len(req.Scenario) > 0:
+		sc, err = xcbc.LoadScenario(req.Scenario)
+	default:
+		writeError(w, http.StatusBadRequest, "name or scenario is required")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if sc.Members() != fr.Fleet.Len() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("scenario wants %d members but fleet %s has %d", sc.Members(), fr.ID, fr.Fleet.Len()))
+		return
+	}
+	if sc.RequiresFreshFleet() && fr.Fleet.Provisioned() {
+		writeError(w, http.StatusBadRequest,
+			"scenario arms kickstart faults; run it on a fleet created with \"provision\": false whose builds have not started")
+		return
+	}
+
+	fr.mu.Lock()
+	if fr.runLive {
+		fr.mu.Unlock()
+		writeError(w, http.StatusConflict, "a scenario is already running on this fleet; wait for it to settle")
+		return
+	}
+	fr.runLive = true
+	fr.nextRun++
+	run := &scenarioRun{
+		ID:       fmt.Sprintf("s%d", fr.nextRun),
+		Scenario: sc.Name(),
+		Created:  s.clock(),
+		state:    "running",
+		done:     make(chan struct{}),
+	}
+	fr.runs = append(fr.runs, run)
+	fr.mu.Unlock()
+
+	go func() {
+		result, err := fr.Fleet.RunScenario(context.Background(), sc)
+		run.mu.Lock()
+		switch {
+		case err != nil:
+			run.state, run.err = "error", err
+		case result.Passed():
+			run.state, run.result = "passed", result
+		default:
+			run.state, run.result = "failed", result
+		}
+		run.mu.Unlock()
+		fr.mu.Lock()
+		fr.runLive = false
+		fr.mu.Unlock()
+		close(run.done)
+	}()
+	writeJSON(w, http.StatusAccepted, runInfoOf(run, false, 0))
+}
+
+func (s *Server) lookupRun(fr *fleetRecord, sid string) (*scenarioRun, bool) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for _, run := range fr.runs {
+		if run.ID == sid {
+			return run, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Server) handleScenarioRuns(w http.ResponseWriter, r *http.Request) {
+	fr, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	fr.mu.Lock()
+	runs := append([]*scenarioRun(nil), fr.runs...)
+	fr.mu.Unlock()
+	out := make([]scenarioRunInfo, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, runInfoOf(run, false, 0))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// handleScenarioRun reports one run; ?cursor=N selects which trace events
+// ride along once the run settles (pass back next_cursor to page).
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
+	fr, ok := s.lookupFleet(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	run, ok := s.lookupRun(fr, r.PathValue("sid"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario run")
+		return
+	}
+	cursor, err := parseCursor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, runInfoOf(run, true, cursor))
+}
+
+// handleScenarios lists the built-in scenarios a client can POST by name.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	type builtinInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Members     int    `json:"members"`
+		Seed        int64  `json:"seed"`
+	}
+	out := make([]builtinInfo, 0, len(xcbc.BuiltinScenarios()))
+	for _, name := range xcbc.BuiltinScenarios() {
+		sc, err := xcbc.BuiltinScenario(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, builtinInfo{
+			Name: sc.Name(), Description: sc.Description(),
+			Members: sc.Members(), Seed: sc.Seed(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}

@@ -121,6 +121,8 @@ type Server struct {
 	mu          sync.RWMutex
 	deployments map[string]*deployment
 	nextID      int
+	fleets      map[string]*fleetRecord
+	nextFleetID int
 }
 
 // deployment is one SDK deployment managed by the server. The handle owns
@@ -146,6 +148,7 @@ func New(cfg Config) *Server {
 		deployOpts:  cfg.DeployOptions,
 		closing:     make(chan struct{}),
 		deployments: make(map[string]*deployment),
+		fleets:      make(map[string]*fleetRecord),
 	}
 	for _, r := range cfg.Repos {
 		s.set.Add(repo.Config{Repo: r, Priority: xcbc.XNITPriority, Enabled: true, GPGCheck: true})
@@ -178,6 +181,14 @@ func New(cfg Config) *Server {
 		{"POST", "/api/v1/clusters/{id}/validate", "HPL model + measured smoke solve", s.handleValidate},
 		{"GET", "/api/v1/clusters/{id}/updates", "update check, ?policy= selects handling", s.handleUpdates},
 		{"POST", "/api/v1/clusters/{id}/advance", "advance virtual time", s.handleAdvance},
+		{"GET", "/api/v1/scenarios", "list built-in scenario scripts", s.handleScenarios},
+		{"GET", "/api/v1/fleets", "list fleets (aggregate view)", s.handleFleets},
+		{"POST", "/api/v1/fleets", "create a fleet, 202 Accepted, builds run async", s.handleCreateFleet},
+		{"GET", "/api/v1/fleets/{id}", "fleet status with per-member states", s.handleFleet},
+		{"DELETE", "/api/v1/fleets/{id}", "cancel unsettled / remove settled", s.handleDeleteFleet},
+		{"POST", "/api/v1/fleets/{id}/scenarios", "run a scenario on the fleet, 202 Accepted", s.handleRunScenario},
+		{"GET", "/api/v1/fleets/{id}/scenarios", "list the fleet's scenario runs", s.handleScenarioRuns},
+		{"GET", "/api/v1/fleets/{id}/scenarios/{sid}", "run status, ?cursor= pages the trace", s.handleScenarioRun},
 	}
 	allow := make(map[string][]string)
 	for _, rt := range s.routes {

@@ -1,0 +1,165 @@
+package xcbc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewFleetRejectsBadSpecs(t *testing.T) {
+	cases := []FleetSpec{
+		{Members: 0},
+		{Members: -1},
+		{Members: 1, Cluster: "deep-thought"},
+		{Members: 1, Nodes: -2},
+	}
+	for _, spec := range cases {
+		if _, err := NewFleet(spec); !errors.Is(err, ErrBadFleetSpec) {
+			t.Errorf("NewFleet(%+v) = %v, want ErrBadFleetSpec", spec, err)
+		}
+	}
+}
+
+func TestFleetDeployAndOperate(t *testing.T) {
+	f, err := NewFleet(FleetSpec{Name: "campus", Members: 3, Nodes: 2, Parallelism: 2, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.Member(0)
+	if !ok {
+		t.Fatal("member 0 missing")
+	}
+	if _, err := m.Cluster(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Cluster before deploy = %v, want ErrNotReady", err)
+	}
+	if err := f.Deploy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if st.Ready != 3 || !st.Settled() {
+		t.Fatalf("status = %+v, want 3 ready settled", st)
+	}
+	if m.ID() != "campus-000" || m.Index() != 0 || m.Status() != StateReady {
+		t.Fatalf("member 0 = %s/%d/%s", m.ID(), m.Index(), m.Status())
+	}
+	if evs, _ := m.Events(0); len(evs) == 0 {
+		t.Fatal("member 0 has an empty build journal")
+	}
+	cl, err := m.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cl.SubmitJob(JobSpec{User: "alice", Cores: 1, Walltime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobRunning {
+		t.Fatalf("job state = %s, want running on an idle member", job.State)
+	}
+	// The escape hatch must share the member's serialization point, not
+	// mint a second adapter over the same engine.
+	if again := cl.Deployment().Open(); again.ops != cl.ops {
+		t.Fatal("Deployment().Open() minted a second adapter for a fleet member")
+	}
+	// Second Provision is rejected.
+	if err := f.Provision(context.Background()); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("second Provision = %v, want ErrBadOption", err)
+	}
+}
+
+func TestBuiltinScenarioLookup(t *testing.T) {
+	names := BuiltinScenarios()
+	if len(names) < 3 {
+		t.Fatalf("builtins = %v, want at least 3", names)
+	}
+	for _, name := range names {
+		sc, err := BuiltinScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name() != name || sc.Members() < 1 || sc.Phases() < 1 {
+			t.Fatalf("builtin %s is malformed: %d members, %d phases", name, sc.Members(), sc.Phases())
+		}
+		data, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadScenario(data); err != nil {
+			t.Fatalf("builtin %s does not round-trip: %v", name, err)
+		}
+	}
+	if _, err := BuiltinScenario("nope"); !errors.Is(err, ErrUnknownScenario) {
+		t.Fatalf("unknown builtin = %v, want ErrUnknownScenario", err)
+	}
+}
+
+func TestLoadScenarioRejectsGarbage(t *testing.T) {
+	for _, data := range []string{
+		`{`,
+		`{"name":"x","fleet":{"members":1},"phases":[{"kind":"explode"}]}`,
+		`{"name":"x","fleet":{"members":-1},"phases":[{"kind":"provision"}]}`,
+	} {
+		if _, err := LoadScenario([]byte(data)); !errors.Is(err, ErrBadScenario) {
+			t.Errorf("LoadScenario(%q) = %v, want ErrBadScenario", data, err)
+		}
+	}
+}
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	script := []byte(`{
+		"name": "sdk-smoke",
+		"seed": 5,
+		"fleet": {"members": 2, "nodes": 2, "parallelism": 2, "workers": 2},
+		"phases": [
+			{"kind": "provision"},
+			{"kind": "jobs", "count": 1, "cores": 1, "runtime": "10m"},
+			{"kind": "advance", "duration": "30m"},
+			{"kind": "metrics"},
+			{"kind": "assert", "invariants": [{"name": "all-ready"}, {"name": "jobs-conserved"}]}
+		]
+	}`)
+	sc, err := LoadScenario(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Passed() || len(first.Violations()) != 0 {
+		t.Fatalf("passed=%v violations=%v", first.Passed(), first.Violations())
+	}
+	st := first.Stats()
+	if st.Ready != 2 || st.JobsSubmitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(first.Trace()) == 0 {
+		t.Fatal("empty trace")
+	}
+	second, err := RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.TraceJSONL(), second.TraceJSONL()) {
+		t.Fatal("same scenario and seed produced different traces")
+	}
+}
+
+func TestFleetRunScenarioSizeMismatch(t *testing.T) {
+	f, err := NewFleet(FleetSpec{Members: 2, Nodes: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScenario([]byte(`{
+		"name": "three", "fleet": {"members": 3},
+		"phases": [{"kind": "provision"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunScenario(context.Background(), sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("RunScenario on mismatched fleet = %v, want ErrBadScenario", err)
+	}
+}

@@ -273,36 +273,12 @@ func (c *config) resolveEngine() *sim.Engine {
 	return sim.NewEngine()
 }
 
-// resizeComputes grows or shrinks a cluster's compute set to n nodes,
-// cloning the hardware description of the last compute node for growth.
+// resizeComputes grows or shrinks a cluster's compute set to n nodes via
+// the shared internal/cluster helper, mapping failures onto the SDK
+// sentinel.
 func resizeComputes(hw *cluster.Cluster, n int) error {
-	if len(hw.Computes) == 0 {
-		return fmt.Errorf("%w: %s has no compute nodes to clone", ErrBadNodeCount, hw.Name)
-	}
-	if n < len(hw.Computes) {
-		hw.Computes = hw.Computes[:n]
-		return nil
-	}
-	tmpl := hw.Computes[len(hw.Computes)-1]
-	for i := len(hw.Computes); i < n; i++ {
-		name := fmt.Sprintf("compute-0-%d", i+1)
-		for j := 0; ; j++ {
-			if _, taken := hw.Lookup(name); !taken {
-				break
-			}
-			name = fmt.Sprintf("compute-0-%d", i+2+j)
-		}
-		clone := cluster.NewNode(name, cluster.RoleCompute, tmpl.CPU, tmpl.Sockets, tmpl.RAMGB)
-		for _, d := range tmpl.Disks {
-			clone.AddDisk(d)
-		}
-		for _, nic := range tmpl.NICs {
-			clone.AddNIC(nic)
-		}
-		for _, a := range tmpl.Accels {
-			clone.AddAccelerator(a)
-		}
-		hw.AddCompute(clone)
+	if err := cluster.ResizeComputes(hw, n); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadNodeCount, err)
 	}
 	return nil
 }

@@ -17,36 +17,17 @@ const (
 	CentOSVersion = core.CentOSVersion
 )
 
-// clusterCatalog maps the names accepted by WithCluster to the hardware
-// catalog: every machine the paper discusses.
-var clusterCatalog = map[string]func() *cluster.Cluster{
-	"littlefe":          cluster.NewLittleFe,
-	"littlefe-original": cluster.NewLittleFeOriginal,
-	"limulus":           cluster.NewLimulusHPC200,
-	"marshall":          cluster.NewMarshall,
-	"montana":           cluster.NewMontanaState,
-	"kansas":            cluster.NewKansas,
-	"pbarc":             cluster.NewPBARC,
-	"howard":            cluster.NewHoward,
-}
-
-// Clusters lists the cluster names WithCluster accepts, sorted.
-func Clusters() []string {
-	out := make([]string, 0, len(clusterCatalog))
-	for name := range clusterCatalog {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+// Clusters lists the cluster names WithCluster accepts, sorted. The
+// catalog itself lives in internal/cluster so the fleet manager shares it.
+func Clusters() []string { return cluster.CatalogNames() }
 
 // NewCluster builds a fresh, powered-off instance of a cataloged machine.
 func NewCluster(name string) (*cluster.Cluster, error) {
-	build, ok := clusterCatalog[name]
-	if !ok {
+	hw, err := cluster.FromCatalog(name)
+	if err != nil {
 		return nil, wrapName(ErrUnknownCluster, name)
 	}
-	return build(), nil
+	return hw, nil
 }
 
 // Schedulers lists the job managers the XCBC build supports (Table 1:
