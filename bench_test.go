@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -823,4 +824,83 @@ func BenchmarkScenarioChaosKickstart(b *testing.B) {
 		events = len(res.Trace())
 	}
 	b.ReportMetric(float64(events), "trace_events")
+}
+
+// BenchmarkRecoverFleet100 measures cold recovery of a durable control
+// plane whose WAL holds a provisioned 100-member fleet (the campus-100
+// shape). Setup journals the fleet once; each iteration is a full
+// api.Open — WAL read, mirror rebuild, and the synchronous re-provision
+// of all 100 clusters — followed by Close.
+func BenchmarkRecoverFleet100(b *testing.B) {
+	dir := b.TempDir()
+	seedSrv, _, err := api.Open(api.Config{DataDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := httptest.NewServer(seedSrv.Handler())
+	resp, err := http.Post(h.URL+"/api/v1/fleets", "application/json",
+		bytes.NewReader([]byte(`{"name":"bench","members":100,"cluster":"littlefe","nodes":4,"parallelism":4,"workers":8}`)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("create fleet: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var info struct {
+			Settled bool `json:"settled"`
+			Status  struct {
+				Ready int `json:"ready"`
+			} `json:"status"`
+		}
+		r, err := http.Get(h.URL + "/api/v1/fleets/f1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+		if info.Settled {
+			if info.Status.Ready != 100 {
+				b.Fatalf("seed fleet ready = %d, want 100", info.Status.Ready)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("seed fleet never settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.Close()
+	if err := seedSrv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var walBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			walBytes += fi.Size()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, rep, err := api.Open(api.Config{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Fleets != 1 {
+			b.Fatalf("recovered %d fleets, want 1", rep.Fleets)
+		}
+		b.ReportMetric(float64(rep.Records), "wal_records")
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(walBytes), "wal_disk_bytes")
 }

@@ -12,20 +12,25 @@ import (
 	"xcbc/pkg/xcbc"
 )
 
-// fleetCmd dispatches `clusterctl fleet run|scenarios`: the fleet-scale
-// scenario engine, run locally through the SDK (no server needed).
+// fleetCmd dispatches `clusterctl fleet run|scenarios|ls|runs`: the
+// fleet-scale scenario engine, run locally through the SDK (no server
+// needed), plus the REST views onto a control-plane server's fleets.
 //
 //	clusterctl fleet scenarios
 //	clusterctl fleet run campus-100
 //	clusterctl fleet run chaos.json -seed 7 -trace trace.jsonl -v
+//	clusterctl fleet ls   -server URL
+//	clusterctl fleet runs -server URL -id f1
 //
 // `run` accepts a built-in scenario name (see `fleet scenarios`) or a path
 // to a scenario JSON file. Exit codes: 0 the scenario passed its
 // invariants, 1 it failed or could not run, 2 the scenario itself was
-// unusable (unknown name, malformed JSON).
+// unusable (unknown name, malformed JSON). `ls` and `runs` follow the
+// day-2 client contract instead: 0 success, 1 request or server error,
+// 2 retryable not-ready.
 func fleetCmd(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "clusterctl fleet: need a subcommand: run or scenarios")
+		fmt.Fprintln(stderr, "clusterctl fleet: need a subcommand: run, scenarios, ls, or runs")
 		return 2
 	}
 	sub, rest := args[0], args[1:]
@@ -112,8 +117,68 @@ func fleetCmd(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "PASSED: all invariants held")
 		return 0
+	case "ls":
+		fs := flag.NewFlagSet("fleet ls", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		server := fs.String("server", "http://localhost:8080", "control-plane base URL")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		var list struct {
+			Count  int `json:"count"`
+			Fleets []struct {
+				ID        string `json:"id"`
+				Name      string `json:"name"`
+				Scenarios int    `json:"scenarios"`
+				Status    struct {
+					Members int `json:"members"`
+					Ready   int `json:"ready"`
+					Failed  int `json:"failed"`
+				} `json:"status"`
+			} `json:"fleets"`
+		}
+		if code := apiCall("GET", *server+"/api/v1/fleets", nil, &list); code != 0 {
+			return code
+		}
+		fmt.Fprintf(stdout, "%-6s %-16s %-8s %-6s %-6s %s\n", "ID", "NAME", "MEMBERS", "READY", "FAILED", "RUNS")
+		for _, f := range list.Fleets {
+			fmt.Fprintf(stdout, "%-6s %-16s %-8d %-6d %-6d %d\n",
+				f.ID, f.Name, f.Status.Members, f.Status.Ready, f.Status.Failed, f.Scenarios)
+		}
+		return 0
+	case "runs":
+		fs := flag.NewFlagSet("fleet runs", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		server := fs.String("server", "http://localhost:8080", "control-plane base URL")
+		id := fs.String("id", "", "fleet ID (e.g. f1)")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if *id == "" {
+			fmt.Fprintln(stderr, "clusterctl fleet runs: -id is required (the fleet ID, e.g. f1)")
+			return 1
+		}
+		var list struct {
+			Runs []struct {
+				ID         string   `json:"id"`
+				Scenario   string   `json:"scenario"`
+				State      string   `json:"state"`
+				Passed     bool     `json:"passed"`
+				Violations []string `json:"violations"`
+				NextCursor int      `json:"next_cursor"`
+			} `json:"runs"`
+		}
+		if code := apiCall("GET", *server+"/api/v1/fleets/"+*id+"/scenarios", nil, &list); code != 0 {
+			return code
+		}
+		fmt.Fprintf(stdout, "%-6s %-18s %-8s %-7s %-10s %s\n", "ID", "SCENARIO", "STATE", "PASSED", "VIOLATIONS", "EVENTS")
+		for _, r := range list.Runs {
+			fmt.Fprintf(stdout, "%-6s %-18s %-8s %-7t %-10d %d\n",
+				r.ID, r.Scenario, r.State, r.Passed, len(r.Violations), r.NextCursor)
+		}
+		return 0
 	}
-	fmt.Fprintf(stderr, "clusterctl fleet: unknown subcommand %q (use run or scenarios)\n", sub)
+	fmt.Fprintf(stderr, "clusterctl fleet: unknown subcommand %q (use run, scenarios, ls, or runs)\n", sub)
 	return 2
 }
 

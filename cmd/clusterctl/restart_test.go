@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xcbc/pkg/xcbc/api"
+)
+
+// httpJSON is a minimal client for driving the control plane in tests.
+func httpJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body != "" {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	} else {
+		req, err = http.NewRequest(method, url, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitState polls a deployment or scenario run until its state leaves the
+// transient set.
+func waitState(t *testing.T, url string, transient ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var info struct {
+			State string `json:"state"`
+		}
+		if code := httpJSON(t, "GET", url, "", &info); code != 200 {
+			t.Fatalf("GET %s: %d", url, code)
+		}
+		settled := true
+		for _, s := range transient {
+			if info.State == s {
+				settled = false
+			}
+		}
+		if settled {
+			return info.State
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never settled", url)
+	return ""
+}
+
+// TestClusterctlAgainstRestartedServer is the operator's crash story end
+// to end: deploy and operate through a durable control plane, kill it,
+// restart on the same data directory, and drive the recovered state with
+// the same clusterctl commands — same outputs, same exit-code contract.
+func TestClusterctlAgainstRestartedServer(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, err := api.Open(api.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := httptest.NewServer(s1.Handler())
+
+	// A ready cluster with one job, and a fleet with one settled run.
+	if code := httpJSON(t, "POST", h1.URL+"/api/v1/deployments",
+		`{"cluster":"littlefe","scheduler":"torque"}`, nil); code != 202 {
+		t.Fatalf("create deployment: %d", code)
+	}
+	if st := waitState(t, h1.URL+"/api/v1/deployments/d1", "pending", "building"); st != "ready" {
+		t.Fatalf("deployment settled %q", st)
+	}
+	if code := jobsCmd([]string{"submit", "-server", h1.URL, "-id", "d1",
+		"-name", "relax", "-user", "alice", "-cores", "2"}); code != 0 {
+		t.Fatalf("jobs submit exit %d, want 0", code)
+	}
+	scenario := `{"name":"tiny","seed":7,"fleet":{"members":2,"nodes":2,"workers":2},` +
+		`"phases":[{"kind":"provision"},` +
+		`{"kind":"jobs","count":2,"cores":1,"runtime":"5m","walltime":"30m"},` +
+		`{"kind":"advance","duration":"1h"},` +
+		`{"kind":"assert","invariants":[{"name":"all-ready"}]}]}`
+	if code := httpJSON(t, "POST", h1.URL+"/api/v1/fleets",
+		`{"name":"tiny","members":2,"nodes":2,"workers":2,"provision":false}`, nil); code != 202 {
+		t.Fatalf("create fleet: %d", code)
+	}
+	if code := httpJSON(t, "POST", h1.URL+"/api/v1/fleets/f1/scenarios",
+		`{"scenario":`+scenario+`}`, nil); code != 202 {
+		t.Fatalf("run scenario: %d", code)
+	}
+	if st := waitState(t, h1.URL+"/api/v1/fleets/f1/scenarios/s1", "running"); st != "passed" {
+		t.Fatalf("scenario run settled %q", st)
+	}
+
+	// Crash: the process goes away, the data directory stays.
+	h1.Close()
+	s1.Close()
+
+	s2, rep, err := api.Open(api.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.Rebuilt != 1 || rep.Fleets != 1 || rep.Runs != 1 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	h2 := httptest.NewServer(s2.Handler())
+	defer h2.Close()
+
+	// The same day-2 commands work against the recovered state with the
+	// same exit codes.
+	if code := jobsCmd([]string{"ls", "-server", h2.URL, "-id", "d1"}); code != 0 {
+		t.Errorf("jobs ls after restart exit %d, want 0", code)
+	}
+	if code := metricsCmd([]string{"-server", h2.URL, "-id", "d1"}); code != 0 {
+		t.Errorf("metrics after restart exit %d, want 0", code)
+	}
+	if code := jobsCmd([]string{"ls", "-server", h2.URL, "-id", "d99"}); code != 1 {
+		t.Errorf("jobs ls on unknown cluster exit %d, want 1", code)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := fleetCmd([]string{"ls", "-server", h2.URL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fleet ls exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "f1") || !strings.Contains(stdout.String(), "tiny") {
+		t.Errorf("fleet ls output missing recovered fleet:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := fleetCmd([]string{"runs", "-server", h2.URL, "-id", "f1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fleet runs exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "passed") || !strings.Contains(out, "true") {
+		t.Errorf("fleet runs output missing recovered run:\n%s", out)
+	}
+
+	stdout.Reset()
+	if code := fleetCmd([]string{"runs", "-server", h2.URL, "-id", "f99"}, &stdout, &stderr); code != 1 {
+		t.Errorf("fleet runs on unknown fleet exit %d, want 1", code)
+	}
+	if code := fleetCmd([]string{"runs", "-server", h2.URL}, &stdout, &stderr); code != 1 {
+		t.Errorf("fleet runs without -id exit %d, want 1", code)
+	}
+}

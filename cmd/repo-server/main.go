@@ -7,9 +7,15 @@
 // The server logs every request, carries read/write timeouts, and shuts
 // down gracefully on SIGINT/SIGTERM.
 //
+// With -data-dir the control plane becomes durable: every resource
+// mutation is journalled to a write-ahead log under the directory and a
+// restarted server recovers its deployments, fleets, and scenario runs
+// before listening (see GET /api/v1/store for live durability status).
+//
 // Usage:
 //
 //	repo-server -addr :8080
+//	repo-server -addr :8080 -data-dir /var/lib/repo-server
 //	curl localhost:8080/api/v1                 # route discovery
 //	curl localhost:8080/api/v1/repos
 //	curl localhost:8080/api/v1/repos/xsede/packages?name=gcc
@@ -29,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"xcbc/internal/repo"
 	"xcbc/pkg/xcbc"
@@ -38,6 +45,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	dataDir := flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+	snapEvery := flag.Int("snapshot-every", 0, "WAL records between snapshots (0 = default)")
+	resume := flag.Bool("resume", false, "resume deployments interrupted mid-build instead of failing them")
 	flag.Parse()
 
 	xnit, err := xcbc.NewXNITRepository()
@@ -49,7 +59,23 @@ func main() {
 	if !*quiet {
 		logger = log.New(os.Stderr, "repo-server: ", log.LstdFlags)
 	}
-	srv := api.New(api.Config{Repos: []*repo.Repository{xnit}, Logger: logger})
+	cfg := api.Config{Repos: []*repo.Repository{xnit}, Logger: logger,
+		DataDir: *dataDir, SnapshotEvery: *snapEvery, ResumeInterrupted: *resume}
+	srv, rec, err := api.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repo-server:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	if rec != nil {
+		fmt.Printf("recovered %s in %v: %d deployments (%d rebuilt, %d archived, %d interrupted, %d resumed, %d ops replayed), %d fleets, %d runs (%d replayed, %d diverged)\n",
+			rec.DataDir, rec.Elapsed.Round(time.Millisecond),
+			rec.Deployments, rec.Rebuilt, rec.Archived, rec.Interrupted, rec.Resumed, rec.OpsReplayed,
+			rec.Fleets, rec.Runs, rec.Replayed, rec.ReplayMismatches)
+		if rec.Repaired {
+			fmt.Printf("repaired torn WAL tail (%d bytes dropped)\n", rec.DroppedBytes)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -32,6 +32,7 @@ type Journal struct {
 	buf  []Event // ring storage, len(buf) <= capacity
 	next int     // sequence number of the next Append
 	cap  int
+	sink func(Event)
 }
 
 // NewJournal returns a journal holding at most capacity events; capacity
@@ -41,6 +42,17 @@ func NewJournal(capacity int) *Journal {
 		capacity = DefaultJournalCap
 	}
 	return &Journal{cap: capacity}
+}
+
+// SetSink registers a function invoked with every subsequently appended
+// event, in append order — the storage seam a write-ahead log taps to
+// persist journal entries as they happen, with none of the ring's
+// eviction. The sink runs under the journal's lock: it must be fast and
+// must not call back into the journal. A nil fn removes the sink.
+func (j *Journal) SetSink(fn func(Event)) {
+	j.mu.Lock()
+	j.sink = fn
+	j.mu.Unlock()
 }
 
 // Append records an event, evicting the oldest entry if the ring is full,
@@ -55,6 +67,9 @@ func (j *Journal) Append(ev Event) int {
 		j.buf[ev.Seq%j.cap] = ev
 	}
 	j.next++
+	if j.sink != nil {
+		j.sink(ev)
+	}
 	return ev.Seq
 }
 

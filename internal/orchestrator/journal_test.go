@@ -64,6 +64,31 @@ func TestJournalDefaultCap(t *testing.T) {
 	}
 }
 
+// TestJournalSink pins the storage seam: a sink sees every append in
+// order with its assigned sequence number, unaffected by ring eviction,
+// and a nil sink detaches.
+func TestJournalSink(t *testing.T) {
+	j := NewJournal(2) // tiny ring: eviction must not hide events from the sink
+	var seen []Event
+	j.SetSink(func(ev Event) { seen = append(seen, ev) })
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Message: fmt.Sprint(i)})
+	}
+	if len(seen) != 6 {
+		t.Fatalf("sink saw %d events, want 6", len(seen))
+	}
+	for i, ev := range seen {
+		if ev.Seq != i || ev.Message != fmt.Sprint(i) {
+			t.Errorf("sink[%d] = %+v, want seq %d", i, ev, i)
+		}
+	}
+	j.SetSink(nil)
+	j.Append(Event{Message: "unseen"})
+	if len(seen) != 6 {
+		t.Fatalf("detached sink still saw events: %d", len(seen))
+	}
+}
+
 // TestJournalConcurrent hammers a journal from appenders and cursor-driven
 // readers; run under -race this is the regression test for the unguarded
 // Events slice the API server used to keep.

@@ -55,12 +55,24 @@ func Run(ctx context.Context, sc *Scenario) (*Result, error) {
 	return RunOn(ctx, fl, sc)
 }
 
+// Observer receives every trace event as the runner emits it, in trace
+// order on the runner's goroutine — the storage seam a write-ahead log
+// taps to record run progress. Observers must not mutate the event or
+// touch the fleet; the trace they see is exactly Result.Events.
+type Observer func(Event)
+
 // RunOn drives an existing fleet through the script — the control plane's
 // path, where the fleet resource exists independently of any one scenario.
 // The fleet's size must match the scenario's member count; a fleet that is
 // already provisioned skips the build inside provision phases but still
 // traces per-member results.
 func RunOn(ctx context.Context, fl *fleet.Fleet, sc *Scenario) (*Result, error) {
+	return RunOnObserved(ctx, fl, sc, nil)
+}
+
+// RunOnObserved is RunOn with a progress observer (nil behaves like
+// RunOn).
+func RunOnObserved(ctx context.Context, fl *fleet.Fleet, sc *Scenario, obs Observer) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,6 +92,7 @@ func RunOn(ctx context.Context, fl *fleet.Fleet, sc *Scenario) (*Result, error) 
 	r := &runner{
 		sc:        sc,
 		fl:        fl,
+		obs:       obs,
 		submitted: make([]int, fl.Len()),
 		baseline:  make([]int, fl.Len()),
 		res:       &Result{Scenario: sc.Name, Seed: sc.Seed},
@@ -95,6 +108,7 @@ func RunOn(ctx context.Context, fl *fleet.Fleet, sc *Scenario) (*Result, error) 
 type runner struct {
 	sc        *Scenario
 	fl        *fleet.Fleet
+	obs       Observer
 	res       *Result
 	submitted []int // jobs submitted by THIS run, per member index
 	baseline  []int // jobs already on the member at first touch (-1 = untouched)
@@ -104,10 +118,14 @@ type runner struct {
 }
 
 func (r *runner) emit(phase int, kind, member, node, detail string) {
-	r.res.Events = append(r.res.Events, Event{
+	ev := Event{
 		Seq: len(r.res.Events), Phase: phase, Kind: kind,
 		Member: member, Node: node, Detail: detail,
-	})
+	}
+	r.res.Events = append(r.res.Events, ev)
+	if r.obs != nil {
+		r.obs(ev)
+	}
 }
 
 func (r *runner) run(ctx context.Context) (*Result, error) {

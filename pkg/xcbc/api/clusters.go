@@ -35,15 +35,14 @@ type clusterInfo struct {
 }
 
 func (s *Server) clusterInfoOf(dep *deployment) clusterInfo {
-	hw := dep.Handle.Hardware()
 	info := clusterInfo{
 		ID:      dep.ID,
-		Cluster: hw.Name,
-		Site:    hw.Site,
-		Nodes:   hw.NodeCount(),
-		State:   string(dep.Handle.Status()),
+		Cluster: dep.Cluster,
+		Site:    dep.Site,
+		Nodes:   dep.Nodes,
+		State:   dep.state(),
 	}
-	cl, err := dep.Handle.Cluster()
+	cl, err := dep.cluster()
 	if err != nil {
 		return info
 	}
@@ -76,21 +75,21 @@ func (s *Server) openCluster(w http.ResponseWriter, r *http.Request) (*xcbc.Clus
 		writeError(w, http.StatusNotFound, "unknown cluster")
 		return nil, nil, false
 	}
-	cl, err := dep.Handle.Cluster()
+	cl, err := dep.cluster()
 	if err != nil {
-		st := dep.Handle.Status()
+		st := dep.state()
 		body := map[string]string{
 			"error": fmt.Sprintf("cluster %s is not operable: deployment state is %q", dep.ID, st),
-			"state": string(st),
+			"state": st,
 		}
 		status := http.StatusConflict
-		if st.Terminal() {
+		if dep.terminal() {
 			// The build settled without producing a cluster; retrying is
 			// pointless, so this is not the 409 "wait" contract.
 			status = http.StatusUnprocessableEntity
-			body["hint"] = "the build settled " + string(st) + " and will never be operable; inspect GET /api/" + Version + "/deployments/" + dep.ID + ", then DELETE it and create a new deployment"
-			if berr := dep.Handle.Err(); berr != nil {
-				body["build_error"] = berr.Error()
+			body["hint"] = "the build settled " + st + " and will never be operable; inspect GET /api/" + Version + "/deployments/" + dep.ID + ", then DELETE it and create a new deployment"
+			if berr := dep.errMsg(); berr != "" {
+				body["build_error"] = berr
 			}
 		} else {
 			body["hint"] = "day-2 operations need state \"ready\"; poll GET /api/" + Version + "/deployments/" + dep.ID + " or stream its /events until the build settles"
@@ -183,8 +182,23 @@ func parseDurationField(field, v string) (time.Duration, error) {
 	return d, nil
 }
 
+// jobSpecOf turns a submit request into an SDK job spec; the live submit
+// handler and recovery's op replay share it so a replayed submission is
+// validated and shaped exactly as the original was.
+func jobSpecOf(req submitJobRequest) (xcbc.JobSpec, error) {
+	spec := xcbc.JobSpec{Name: req.Name, User: req.User, Cores: req.Cores, Script: req.Script}
+	var err error
+	if spec.Walltime, err = parseDurationField("walltime", req.Walltime); err != nil {
+		return spec, err
+	}
+	if spec.Runtime, err = parseDurationField("runtime", req.Runtime); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, dep, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -193,13 +207,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	spec := xcbc.JobSpec{Name: req.Name, User: req.User, Cores: req.Cores, Script: req.Script}
-	var err error
-	if spec.Walltime, err = parseDurationField("walltime", req.Walltime); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if spec.Runtime, err = parseDurationField("runtime", req.Runtime); err != nil {
+	spec, err := jobSpecOf(req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -208,6 +217,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, deployErrorStatus(err), err.Error())
 		return
 	}
+	s.recordOp(clusterOpRec{ID: dep.ID, Op: "job.submit", Job: &req, JobID: job.ID})
 	writeJSON(w, http.StatusCreated, jobInfoOf(job))
 }
 
@@ -269,7 +279,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, dep, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -281,6 +291,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, deployErrorStatus(err), err.Error())
 		return
 	}
+	s.recordOp(clusterOpRec{ID: dep.ID, Op: "job.cancel", JobID: id})
 	job, _ := cl.Job(id)
 	writeJSON(w, http.StatusOK, jobInfoOf(job))
 }
@@ -302,11 +313,14 @@ type metricsInfo struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, dep, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
+	// A metrics request polls the nodes (bumping the poll counter), so it
+	// is a recorded, replayed mutation like any other day-2 op.
 	m := cl.Metrics()
+	s.recordOp(clusterOpRec{ID: dep.ID, Op: "metrics"})
 	out := metricsInfo{
 		At: m.At.String(), Polls: m.Polls, ClusterLoad: m.ClusterLoad,
 		Nodes:        make([]nodeMetricsInfo, 0, len(m.Nodes)),
@@ -416,25 +430,36 @@ type updatesInfo struct {
 	Nodes        map[string]nodeUpdatesInfo `json:"nodes"`
 }
 
+// updatePolicyOf parses an update-policy name; the live handler and
+// recovery's op replay share it.
+func updatePolicyOf(p string) (xcbc.UpdatePolicy, error) {
+	switch p {
+	case "", "notify":
+		return xcbc.UpdateNotify, nil
+	case "auto-apply":
+		return xcbc.UpdateAutoApply, nil
+	case "security-only":
+		return xcbc.UpdateSecurityOnly, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (use notify, auto-apply, or security-only)", p)
+}
+
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, dep, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
-	var policy xcbc.UpdatePolicy
-	switch p := r.URL.Query().Get("policy"); p {
-	case "", "notify":
-		policy = xcbc.UpdateNotify
-	case "auto-apply":
-		policy = xcbc.UpdateAutoApply
-	case "security-only":
-		policy = xcbc.UpdateSecurityOnly
-	default:
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown policy %q (use notify, auto-apply, or security-only)", p))
+	p := r.URL.Query().Get("policy")
+	policy, err := updatePolicyOf(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	check := cl.CheckUpdates(policy, s.clock())
+	// Auto-apply mutates node package state; record the wall-clock instant
+	// so a recovery replay re-applies the same update window.
+	now := s.clock()
+	check := cl.CheckUpdates(policy, now)
+	s.recordOp(clusterOpRec{ID: dep.ID, Op: "updates", Policy: p, At: now})
 	out := updatesInfo{
 		Policy:       policy.String(),
 		PendingTotal: check.PendingTotal(),
@@ -455,7 +480,7 @@ type advanceRequest struct {
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, dep, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -479,5 +504,6 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := cl.Advance(d)
+	s.recordOp(clusterOpRec{ID: dep.ID, Op: "advance", Duration: req.Duration})
 	writeJSON(w, http.StatusOK, map[string]string{"virtual_now": now.String()})
 }

@@ -164,17 +164,14 @@ func (s *Server) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("members*nodes exceeds the fleet-wide cap of %d simulated nodes", maxFleetTotalNodes))
 		return
 	}
-	fl, err := xcbc.NewFleet(xcbc.FleetSpec{
-		Name: req.Name, Members: req.Members, Cluster: req.Cluster,
-		Nodes: req.Nodes, Scheduler: req.Scheduler,
-		Parallelism: req.Parallelism, Retries: req.Retries, Workers: req.Workers,
-	})
+	fl, err := xcbc.NewFleet(fleetSpecOf(req))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	// Builds must outlive this request; they stop via DELETE.
-	if req.Provision == nil || *req.Provision {
+	provisioned := req.Provision == nil || *req.Provision
+	if provisioned {
 		if err := fl.Provision(context.Background()); err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -190,7 +187,24 @@ func (s *Server) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 	}
 	s.fleets[fr.ID] = fr
 	s.mu.Unlock()
+	if s.store != nil {
+		s.store.emit(recFleetCreated, fleetCreatedRec{
+			ID: fr.ID, Name: req.Name, Req: req, Created: fr.Created, Provisioned: provisioned,
+		})
+		s.store.attachFleet(fr)
+	}
 	writeJSON(w, http.StatusAccepted, s.fleetInfoOf(fr, true))
+}
+
+// fleetSpecOf turns a create request into an SDK fleet spec; the create
+// handler and recovery share it so a recovered fleet is sized exactly as
+// the original was.
+func fleetSpecOf(req createFleetRequest) xcbc.FleetSpec {
+	return xcbc.FleetSpec{
+		Name: req.Name, Members: req.Members, Cluster: req.Cluster,
+		Nodes: req.Nodes, Scheduler: req.Scheduler,
+		Parallelism: req.Parallelism, Retries: req.Retries, Workers: req.Workers,
+	}
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -224,6 +238,10 @@ func (s *Server) handleDeleteFleet(w http.ResponseWriter, r *http.Request) {
 		if fr.Fleet.Status().Settled() {
 			delete(s.fleets, id)
 			s.mu.Unlock()
+			if s.store != nil {
+				fr.Fleet.SetJournalSink(nil)
+				s.store.emit(recFleetDeleted, idRec{ID: id})
+			}
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
@@ -350,24 +368,80 @@ func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
 	fr.runs = append(fr.runs, run)
 	fr.mu.Unlock()
 
-	go func() {
-		result, err := fr.Fleet.RunScenario(context.Background(), sc)
-		run.mu.Lock()
-		switch {
-		case err != nil:
-			run.state, run.err = "error", err
-		case result.Passed():
-			run.state, run.result = "passed", result
-		default:
-			run.state, run.result = "failed", result
+	if s.store != nil {
+		doc, err := sc.JSON()
+		if err != nil {
+			doc = req.Scenario // inline doc as submitted; never nil for builtins
 		}
-		run.mu.Unlock()
-		fr.mu.Lock()
-		fr.runLive = false
-		fr.mu.Unlock()
-		close(run.done)
-	}()
+		s.store.emit(recScenarioStarted, scenarioStartedRec{
+			FleetID: fr.ID, RunID: run.ID, Name: sc.Name(),
+			Scenario: doc, Created: run.Created,
+		})
+	}
+	go s.executeRun(fr, run, sc, nil)
 	writeJSON(w, http.StatusAccepted, runInfoOf(run, false, 0))
+}
+
+// executeRun drives one scenario run to settlement. The live handler
+// calls it on a fresh goroutine; recovery calls it synchronously, with a
+// replay target, to re-run a scenario that was in flight at a crash — in
+// that case the regenerated trace's rolling hash must reproduce the
+// recorded hash at the recorded cursor, or the run settles as "error"
+// rather than presenting a trace the crashed server never produced.
+func (s *Server) executeRun(fr *fleetRecord, run *scenarioRun, sc *xcbc.Scenario, target *replayTarget) {
+	var obs func(xcbc.TraceEvent)
+	var got uint64
+	var reached bool
+	if s.store != nil {
+		th := newTraceHash()
+		obs = func(ev xcbc.TraceEvent) {
+			cursor, sum := th.add(ev)
+			if target != nil && cursor == target.cursor {
+				got, reached = sum, true
+			}
+			s.store.emit(recScenarioProgress, scenarioProgressRec{
+				FleetID: fr.ID, RunID: run.ID, Cursor: cursor, Hash: sum,
+			})
+		}
+	}
+	result, err := fr.Fleet.RunScenarioObserved(context.Background(), sc, obs)
+	if err == nil && target != nil && target.cursor > 0 && (!reached || got != target.hash) {
+		err = fmt.Errorf("%w at recorded cursor %d", errReplayDiverged, target.cursor)
+		result = nil
+	}
+	run.mu.Lock()
+	switch {
+	case err != nil:
+		run.state, run.err = "error", err
+	case result.Passed():
+		run.state, run.result = "passed", result
+	default:
+		run.state, run.result = "failed", result
+	}
+	state := run.state
+	var errMsg string
+	if run.err != nil {
+		errMsg = run.err.Error()
+	}
+	run.mu.Unlock()
+	fr.mu.Lock()
+	fr.runLive = false
+	fr.mu.Unlock()
+	if s.store != nil {
+		rec := scenarioSettledRec{FleetID: fr.ID, RunID: run.ID, State: state, Error: errMsg}
+		if result != nil {
+			if data, jerr := result.ResultJSON(); jerr == nil {
+				rec.Result = data
+			}
+		}
+		s.store.emit(recScenarioSettled, rec)
+		// A provision phase may have built the fleet's members mid-run;
+		// record that so recovery re-provisions before restoring results.
+		if fr.Fleet.Provisioned() {
+			s.store.emit(recFleetProvisioned, idRec{ID: fr.ID})
+		}
+	}
+	close(run.done)
 }
 
 func (s *Server) lookupRun(fr *fleetRecord, sid string) (*scenarioRun, bool) {

@@ -7,6 +7,7 @@
 // clients can feature-detect the cluster routes):
 //
 //	GET    /api/v1                          — route/version discovery
+//	GET    /api/v1/store                    — durability status (data dir, WAL size, snapshot age)
 //	GET    /api/v1/healthz
 //	GET    /api/v1/repos
 //	GET    /api/v1/repos/{id}
@@ -90,6 +91,20 @@ type Config struct {
 	// starts: operator defaults such as xcbc.WithParallelism, and the
 	// fault-injection seam (xcbc.WithInstallHook) for tests.
 	DeployOptions []xcbc.Option
+	// DataDir enables durability when set: the server journals every
+	// resource mutation to a write-ahead log under this directory and
+	// snapshots its state periodically, so a server reopened on the same
+	// directory recovers its deployments, fleets, and scenario runs.
+	// Durable servers must be constructed with Open (recovery can fail);
+	// New panics on a Config with DataDir set.
+	DataDir string
+	// SnapshotEvery is how many WAL records may accumulate before the
+	// store snapshots server state and truncates the log; <= 0 selects
+	// DefaultSnapshotEvery.
+	SnapshotEvery int
+	// ResumeInterrupted restarts deployments the log shows mid-build at
+	// recovery, instead of archiving them as failed (interrupted).
+	ResumeInterrupted bool
 }
 
 // routeInfo describes one versioned route, for both mux registration and
@@ -111,6 +126,7 @@ type Server struct {
 	handler    http.Handler
 	deployOpts []xcbc.Option
 	routes     []routeInfo
+	store      *store // nil on a memory-only server
 
 	// closing is closed when ListenAndServe begins graceful shutdown so
 	// long-lived streams (SSE) end promptly instead of pinning Shutdown
@@ -125,18 +141,129 @@ type Server struct {
 	nextFleetID int
 }
 
-// deployment is one SDK deployment managed by the server. The handle owns
-// all mutable build state (lifecycle state, capped event journal, result),
-// so the server never touches a build goroutine's data directly.
+// deployment is one SDK deployment managed by the server. A live
+// deployment's handle owns all mutable build state (lifecycle state,
+// capped event journal, result), so the server never touches a build
+// goroutine's data directly. A deployment recovered in a terminal
+// non-ready state has no live handle; its recorded state, error, and
+// journal live in arch instead.
 type deployment struct {
 	ID      string
 	Path    string // "xcbc" or "xnit"
 	Created time.Time
-	Handle  *xcbc.Handle
+	Req     createDeploymentRequest // the request that started the build
+	Cluster string
+	Site    string
+	Nodes   int
+	Handle  *xcbc.Handle        // nil when archived
+	arch    *archivedDeployment // nil when live
 }
 
-// New builds a server for the given configuration.
+// archivedDeployment is the recorded remainder of a deployment that
+// settled failed or cancelled (or was interrupted mid-build) before a
+// restart: enough to serve status, journal, and deletion, with day-2
+// routes answering 422 as they do for any terminal non-ready build.
+type archivedDeployment struct {
+	State  string
+	Error  string
+	Events []eventInfo
+}
+
+// state returns the deployment's lifecycle state.
+func (d *deployment) state() string {
+	if d.arch != nil {
+		return d.arch.State
+	}
+	return string(d.Handle.Status())
+}
+
+// terminal reports whether the deployment has settled.
+func (d *deployment) terminal() bool {
+	if d.arch != nil {
+		return true
+	}
+	return d.Handle.Status().Terminal()
+}
+
+// errMsg returns the deployment's terminal error message, "" if none.
+func (d *deployment) errMsg() string {
+	if d.arch != nil {
+		return d.arch.Error
+	}
+	if err := d.Handle.Err(); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// cluster returns the live day-2 surface, or an error for a deployment
+// that is not (or can never again be) operable.
+func (d *deployment) cluster() (*xcbc.Cluster, error) {
+	if d.arch != nil {
+		return nil, fmt.Errorf("deployment is archived %s", d.arch.State)
+	}
+	return d.Handle.Cluster()
+}
+
+// events returns journal events with Seq >= cursor plus the next cursor.
+// Archived journals are complete (recovered from the log, not the capped
+// ring), so their seqs index the slice directly.
+func (d *deployment) events(cursor int) ([]eventInfo, int) {
+	if d.arch != nil {
+		evs := d.arch.Events
+		if cursor > len(evs) {
+			cursor = len(evs)
+		}
+		return evs[cursor:], len(evs)
+	}
+	evs, next := d.Handle.Events(cursor)
+	out := make([]eventInfo, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, eventInfoOf(ev))
+	}
+	return out, next
+}
+
+// New builds a memory-only server for the given configuration. It panics
+// on a Config with DataDir set — durable servers are constructed with
+// Open, whose recovery can fail and must be able to report it.
 func New(cfg Config) *Server {
+	if cfg.DataDir != "" {
+		panic("api: Config.DataDir requires api.Open, not api.New")
+	}
+	return newServer(cfg)
+}
+
+// Open builds a server like New and, when cfg.DataDir is set, attaches
+// the durable store: existing state is recovered from the directory's
+// snapshot and write-ahead log before Open returns (see RecoveryReport
+// for what that entails), and every subsequent mutation is journaled.
+// Callers should Close the server to flush and release the log.
+func Open(cfg Config) (*Server, *RecoveryReport, error) {
+	s := newServer(cfg)
+	if cfg.DataDir == "" {
+		return s, &RecoveryReport{}, nil
+	}
+	st, report, err := openStore(s, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.store = st
+	return s, report, nil
+}
+
+// Close stops the server's background work (store watchers, streams) and
+// flushes and closes the write-ahead log. A memory-only server's Close is
+// a cheap no-op. ListenAndServe does not call Close; the caller owns it.
+func (s *Server) Close() error {
+	s.closingOnce.Do(func() { close(s.closing) })
+	if s.store != nil {
+		return s.store.close()
+	}
+	return nil
+}
+
+func newServer(cfg Config) *Server {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
@@ -160,6 +287,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	s.routes = []routeInfo{
 		{"GET", "/api/v1", "route and version discovery (this document)", s.handleIndex},
+		{"GET", "/api/v1/store", "durability status: data dir, WAL size, snapshot age", s.handleStore},
 		{"GET", "/api/v1/healthz", "liveness probe", s.handleHealth},
 		{"GET", "/api/v1/repos", "list served repositories", s.handleRepos},
 		{"GET", "/api/v1/repos/{id}", "one repository's configuration", s.handleRepo},
@@ -504,41 +632,37 @@ func eventInfoOf(ev xcbc.Event) eventInfo {
 }
 
 func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool, cursor int) deploymentInfo {
-	h := dep.Handle
-	hw := h.Hardware()
 	info := deploymentInfo{
 		ID:      dep.ID,
 		Path:    dep.Path,
-		State:   string(h.Status()),
-		Cluster: hw.Name,
-		Site:    hw.Site,
-		Nodes:   hw.NodeCount(),
+		State:   dep.state(),
+		Error:   dep.errMsg(),
+		Cluster: dep.Cluster,
+		Site:    dep.Site,
+		Nodes:   dep.Nodes,
 		Created: dep.Created,
 	}
-	if err := h.Err(); err != nil {
-		info.Error = err.Error()
-	}
-	if d, ok := h.Deployment(); ok {
-		info.Scheduler = d.Scheduler()
-		info.PackagesInstalled = d.PackagesInstalled()
-		info.InstallDuration = d.InstallDuration().String()
-		info.Quarantined = d.Quarantined()
-		if compat, err := d.Compat(); err == nil {
-			info.CompatPassed = compat.Passed
-			info.CompatTotal = compat.Total
+	if dep.Handle != nil {
+		if d, ok := dep.Handle.Deployment(); ok {
+			info.Scheduler = d.Scheduler()
+			info.PackagesInstalled = d.PackagesInstalled()
+			info.InstallDuration = d.InstallDuration().String()
+			info.Quarantined = d.Quarantined()
+			if compat, err := d.Compat(); err == nil {
+				info.CompatPassed = compat.Passed
+				info.CompatTotal = compat.Total
+			}
 		}
 	}
 	if withEvents {
-		evs, next := h.Events(cursor)
-		info.Events = make([]eventInfo, 0, len(evs))
-		for _, ev := range evs {
-			info.Events = append(info.Events, eventInfoOf(ev))
+		info.Events, info.NextCursor = dep.events(cursor)
+		if info.Events == nil {
+			info.Events = []eventInfo{}
 		}
-		info.NextCursor = next
 	} else {
 		// Event-less bodies (list, DELETE-cancel) still report the journal
 		// tip so "pass next_cursor back" holds on every response.
-		_, info.NextCursor = h.Events(math.MaxInt)
+		_, info.NextCursor = dep.events(math.MaxInt)
 	}
 	return info
 }
@@ -580,17 +704,11 @@ type createDeploymentRequest struct {
 	Retries     int      `json:"retries"`     // per-node retry budget
 }
 
-// handleCreateDeployment validates the request synchronously (bad names,
-// impossible hardware, and option errors keep their 4xx statuses), then
-// starts the build asynchronously and answers 202 Accepted with the
-// deployment in its initial lifecycle state. Clients follow up via GET
-// polling or the /events stream.
-func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) {
-	var req createDeploymentRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return
-	}
+// startBuild validates req and starts the build asynchronously, returning
+// the handle and the normalized path ("xcbc" or "xnit"). Request-shape
+// errors wrap xcbc.ErrBadOption so deployErrorStatus keeps them 400. It
+// is the single build entry point for the create handler and recovery.
+func (s *Server) startBuild(req createDeploymentRequest) (*xcbc.Handle, string, error) {
 	hwOpts := append([]xcbc.Option{}, s.deployOpts...)
 	if req.Cluster != "" {
 		hwOpts = append(hwOpts, xcbc.WithCluster(req.Cluster))
@@ -605,13 +723,12 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 	if path == "" {
 		path = "xcbc"
 	}
-	// The build must outlive this request: it is detached from r.Context()
-	// and cancelled only through DELETE (or server policy).
+	// The build must outlive the creating request: it is detached from the
+	// request context and cancelled only through DELETE (or server policy).
 	switch path {
 	case "xcbc":
 		if len(req.Profiles) > 0 {
-			writeError(w, http.StatusBadRequest, "profiles are an XNIT option; the xcbc path uses rolls")
-			return
+			return nil, "", fmt.Errorf("%w: profiles are an XNIT option; the xcbc path uses rolls", xcbc.ErrBadOption)
 		}
 		opts := hwOpts
 		if req.Scheduler != "" {
@@ -629,12 +746,10 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		h, err = xcbc.NewXCBC(opts...).Start(context.Background())
 	case "xnit":
 		if req.Rolls != nil {
-			writeError(w, http.StatusBadRequest, "rolls are an XCBC option; the xnit path uses profiles")
-			return
+			return nil, "", fmt.Errorf("%w: rolls are an XCBC option; the xnit path uses profiles", xcbc.ErrBadOption)
 		}
 		if req.Parallelism != 0 || req.Retries != 0 {
-			writeError(w, http.StatusBadRequest, "parallelism and retries apply to the xcbc kickstart path only")
-			return
+			return nil, "", fmt.Errorf("%w: parallelism and retries apply to the xcbc kickstart path only", xcbc.ErrBadOption)
 		}
 		xnitOpts := append(append([]xcbc.Option{}, s.deployOpts...), xcbc.WithProfiles(req.Profiles...))
 		if req.Scheduler != "" {
@@ -649,24 +764,53 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 			h, err = xcbc.NewXNIT(vendor, xnitOpts...).Start(context.Background())
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown path %q (use xcbc or xnit)", path))
+		return nil, "", fmt.Errorf("%w: unknown path %q (use xcbc or xnit)", xcbc.ErrBadOption, path)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return h, path, nil
+}
+
+// handleCreateDeployment validates the request synchronously (bad names,
+// impossible hardware, and option errors keep their 4xx statuses), then
+// starts the build asynchronously and answers 202 Accepted with the
+// deployment in its initial lifecycle state. Clients follow up via GET
+// polling or the /events stream.
+func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) {
+	var req createDeploymentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	h, path, err := s.startBuild(req)
 	if err != nil {
 		writeError(w, deployErrorStatus(err), err.Error())
 		return
 	}
 
+	hw := h.Hardware()
 	s.mu.Lock()
 	s.nextID++
 	dep := &deployment{
 		ID:      fmt.Sprintf("d%d", s.nextID),
 		Path:    path,
 		Created: s.clock(),
+		Req:     req,
+		Cluster: hw.Name,
+		Site:    hw.Site,
+		Nodes:   hw.NodeCount(),
 		Handle:  h,
 	}
 	s.deployments[dep.ID] = dep
 	s.mu.Unlock()
+	if s.store != nil {
+		s.store.emit(recDeploymentCreated, depCreatedRec{
+			ID: dep.ID, Path: path, Req: req, Created: dep.Created,
+			Cluster: dep.Cluster, Site: dep.Site, Nodes: dep.Nodes,
+		})
+		s.store.watchDeployment(dep)
+	}
 	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, true, 0))
 }
 
@@ -745,6 +889,26 @@ func (s *Server) handleDeploymentEvents(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if dep.arch != nil {
+		// An archived deployment's journal is complete and its state final:
+		// replay the recorded events, send the terminal frame, and close.
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		evs, _ := dep.events(cursor)
+		for _, ev := range evs {
+			payload, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+		}
+		final := map[string]string{"state": dep.arch.State}
+		if dep.arch.Error != "" {
+			final["error"] = dep.arch.Error
+		}
+		payload, _ := json.Marshal(final)
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", payload)
+		flusher.Flush()
+		return
+	}
 	h := dep.Handle
 	// The stream must outlive the server's WriteTimeout (set against
 	// slow-loris clients, not long-lived push streams): clear the write
@@ -798,9 +962,12 @@ func (s *Server) handleDeleteDeployment(w http.ResponseWriter, r *http.Request) 
 	id := r.PathValue("id")
 	s.mu.Lock()
 	dep, ok := s.deployments[id]
-	if ok && dep.Handle.Status().Terminal() {
+	if ok && dep.terminal() {
 		delete(s.deployments, id)
 		s.mu.Unlock()
+		if s.store != nil {
+			s.store.emit(recDeploymentDeleted, idRec{ID: id})
+		}
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}

@@ -1,0 +1,846 @@
+package api
+
+// Durability: the server journals every resource mutation to a write-ahead
+// log (internal/wal) and periodically snapshots its state, so a restart
+// with the same data directory recovers deployments, fleets, and scenario
+// runs. The store keeps an in-memory mirror — the persistent model — that
+// every WAL record is applied to as it is appended; a snapshot is just the
+// marshalled mirror, and recovery is "load snapshot, re-apply the WAL
+// tail, materialize live resources from the mirror":
+//
+//   - deployments that settled ready are rebuilt deterministically from
+//     their recorded request, then their recorded day-2 operations (job
+//     submissions and cancellations, time advances, update checks, metric
+//     polls) are replayed in order against the live cluster;
+//   - deployments that settled failed or cancelled are archived: state,
+//     error, and journal reload as recorded, day-2 routes answer 422;
+//   - deployments mid-build at the crash are reconciled to
+//     failed (interrupted), or restarted from their recorded request when
+//     the store was opened with ResumeInterrupted;
+//   - fleets are recreated and re-provisioned; settled scenario runs
+//     reload their full recorded result; a run in flight at the crash is
+//     replayed from its seed, and the replayed trace is verified against
+//     the recorded rolling hash at the recorded cursor — a divergence
+//     settles the run as "error" rather than presenting a trace that is
+//     not the one the crashed server was producing.
+//
+// Replay correctness leans on the scenario engine's determinism contract:
+// a scenario's trace is a pure function of (script, seed, fresh fleet).
+// A run that was not a fleet's first therefore fails hash verification
+// after recovery — by design, loudly — because the fleet's accumulated
+// day-2 state (poll counters, virtual clocks) is not part of the replay.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"xcbc/internal/wal"
+	"xcbc/pkg/xcbc"
+)
+
+// DefaultSnapshotEvery is how many WAL records may accumulate before the
+// store snapshots its state and truncates the log, when Config does not
+// say otherwise.
+const DefaultSnapshotEvery = 256
+
+// WAL record types. Payloads are the *Rec structs below, as JSON.
+const (
+	recDeploymentCreated = "deployment.created"
+	recDeploymentEvent   = "deployment.event"
+	recDeploymentSettled = "deployment.settled"
+	recDeploymentDeleted = "deployment.deleted"
+	recClusterOp         = "cluster.op"
+	recFleetCreated      = "fleet.created"
+	recFleetMember       = "fleet.member"
+	recFleetProvisioned  = "fleet.provisioned"
+	recFleetDeleted      = "fleet.deleted"
+	recScenarioStarted   = "scenario.started"
+	recScenarioProgress  = "scenario.progress"
+	recScenarioSettled   = "scenario.settled"
+)
+
+type depCreatedRec struct {
+	ID      string                  `json:"id"`
+	Path    string                  `json:"path"`
+	Req     createDeploymentRequest `json:"req"`
+	Created time.Time               `json:"created"`
+	Cluster string                  `json:"cluster"`
+	Site    string                  `json:"site"`
+	Nodes   int                     `json:"nodes"`
+}
+
+type depEventRec struct {
+	ID    string    `json:"id"`
+	Event eventInfo `json:"event"`
+}
+
+type depSettledRec struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type idRec struct {
+	ID string `json:"id"`
+}
+
+// clusterOpRec records one replayable day-2 mutation against a ready
+// cluster. Op selects which optional fields are meaningful.
+type clusterOpRec struct {
+	ID       string            `json:"id"`
+	Op       string            `json:"op"` // job.submit | job.cancel | advance | updates | metrics
+	Job      *submitJobRequest `json:"job,omitempty"`
+	JobID    int               `json:"job_id,omitempty"`
+	Duration string            `json:"duration,omitempty"`
+	Policy   string            `json:"policy,omitempty"`
+	At       time.Time         `json:"at,omitzero"`
+}
+
+type fleetCreatedRec struct {
+	ID          string             `json:"id"`
+	Name        string             `json:"name"`
+	Req         createFleetRequest `json:"req"`
+	Created     time.Time          `json:"created"`
+	Provisioned bool               `json:"provisioned"`
+}
+
+type fleetMemberRec struct {
+	ID    string    `json:"id"`
+	Event eventInfo `json:"event"`
+}
+
+type scenarioStartedRec struct {
+	FleetID  string          `json:"fleet_id"`
+	RunID    string          `json:"run_id"`
+	Name     string          `json:"name"`
+	Scenario json.RawMessage `json:"scenario"`
+	Created  time.Time       `json:"created"`
+}
+
+type scenarioProgressRec struct {
+	FleetID string `json:"fleet_id"`
+	RunID   string `json:"run_id"`
+	Cursor  int    `json:"cursor"`
+	Hash    uint64 `json:"hash"` // rolling FNV-1a over the trace JSONL prefix
+}
+
+type scenarioSettledRec struct {
+	FleetID string          `json:"fleet_id"`
+	RunID   string          `json:"run_id"`
+	State   string          `json:"state"` // passed | failed | error
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// depMirror is one deployment's persistent model.
+type depMirror struct {
+	Created depCreatedRec  `json:"created"`
+	Events  []eventInfo    `json:"events,omitempty"`
+	Ops     []clusterOpRec `json:"ops,omitempty"`
+	State   string         `json:"state,omitempty"` // "" while building
+	Error   string         `json:"error,omitempty"`
+}
+
+// runMirror is one scenario run's persistent model.
+type runMirror struct {
+	Started scenarioStartedRec `json:"started"`
+	Cursor  int                `json:"cursor"`
+	Hash    uint64             `json:"hash"`
+	State   string             `json:"state,omitempty"` // "" while running
+	Error   string             `json:"error,omitempty"`
+	Result  json.RawMessage    `json:"result,omitempty"`
+}
+
+// fleetMirror is one fleet's persistent model.
+type fleetMirror struct {
+	Created     fleetCreatedRec `json:"created"`
+	Provisioned bool            `json:"provisioned"`
+	Events      []eventInfo     `json:"events,omitempty"`
+	Runs        []*runMirror    `json:"runs,omitempty"`
+}
+
+// mirror is the store's full persistent model; a snapshot is exactly its
+// JSON form.
+type mirror struct {
+	Deployments map[string]*depMirror   `json:"deployments"`
+	Fleets      map[string]*fleetMirror `json:"fleets"`
+	NextID      int                     `json:"next_id"`
+	NextFleetID int                     `json:"next_fleet_id"`
+}
+
+func newMirror() *mirror {
+	return &mirror{
+		Deployments: make(map[string]*depMirror),
+		Fleets:      make(map[string]*fleetMirror),
+	}
+}
+
+// store is the server's durability engine: a WAL plus the mirror, and the
+// watcher goroutines that feed journal events into it.
+type store struct {
+	srv       *Server
+	log       *wal.Log
+	snapEvery int
+	resume    bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	m     *mirror
+	dirty int // records appended since the last snapshot
+}
+
+// RecoveryReport summarizes what Open recovered from a data directory.
+type RecoveryReport struct {
+	DataDir          string        `json:"data_dir"`
+	SnapshotSeq      uint64        `json:"snapshot_seq"`
+	Records          int           `json:"records"` // WAL records applied after the snapshot
+	Repaired         bool          `json:"repaired"`
+	DroppedBytes     int64         `json:"dropped_bytes"`
+	Deployments      int           `json:"deployments"`
+	Rebuilt          int           `json:"rebuilt"`     // ready deployments rebuilt live
+	Archived         int           `json:"archived"`    // terminal deployments reloaded as records
+	Interrupted      int           `json:"interrupted"` // mid-build at crash, reconciled to failed
+	Resumed          int           `json:"resumed"`     // mid-build at crash, restarted
+	OpsReplayed      int           `json:"ops_replayed"`
+	Fleets           int           `json:"fleets"`
+	Runs             int           `json:"runs"`     // settled scenario runs restored
+	Replayed         int           `json:"replayed"` // in-flight runs replayed from seed
+	ReplayMismatches int           `json:"replay_mismatches"`
+	Elapsed          time.Duration `json:"elapsed"`
+}
+
+// openStore opens (or creates) the WAL under cfg.DataDir, rebuilds the
+// mirror from the newest snapshot plus the log tail, and materializes the
+// server's live resources from it. Recovery is synchronous: when openStore
+// returns, every recovered resource is queryable and every in-flight
+// scenario run has been replayed and verified.
+func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
+	start := time.Now()
+	l, rec, err := wal.Open(cfg.DataDir, wal.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("api: opening store: %w", err)
+	}
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = DefaultSnapshotEvery
+	}
+	st := &store{
+		srv:       s,
+		log:       l,
+		snapEvery: snapEvery,
+		resume:    cfg.ResumeInterrupted,
+		m:         newMirror(),
+		dirty:     len(rec.Records),
+	}
+	st.ctx, st.cancel = context.WithCancel(context.Background())
+	report := &RecoveryReport{
+		DataDir:      cfg.DataDir,
+		SnapshotSeq:  rec.SnapshotSeq,
+		Records:      len(rec.Records),
+		Repaired:     rec.Repaired,
+		DroppedBytes: rec.DroppedBytes,
+	}
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, st.m); err != nil {
+			l.Close()
+			return nil, nil, fmt.Errorf("api: decoding snapshot: %w", err)
+		}
+		if st.m.Deployments == nil {
+			st.m.Deployments = make(map[string]*depMirror)
+		}
+		if st.m.Fleets == nil {
+			st.m.Fleets = make(map[string]*fleetMirror)
+		}
+	}
+	for _, r := range rec.Records {
+		st.apply(r.Type, r.Data)
+	}
+	// Attach before materializing: recovery replays in-flight scenario runs
+	// through the same executeRun the live path uses, and that path finds
+	// its observer (and journals replay progress) through s.store.
+	s.store = st
+	if err := st.materialize(report); err != nil {
+		st.cancel()
+		l.Close()
+		s.store = nil
+		return nil, nil, err
+	}
+	report.Elapsed = time.Since(start)
+	return st, report, nil
+}
+
+// close stops the store's watchers, flushes the WAL, and closes it. Safe
+// to call once; appends arriving afterwards are dropped (ErrClosed).
+func (st *store) close() error {
+	st.cancel()
+	st.wg.Wait()
+	return st.log.Close()
+}
+
+// emit appends one record to the WAL and applies it to the mirror, in one
+// critical section so mirror order always matches log order, then takes a
+// snapshot if the cadence says one is due. Append failures after close
+// are expected during shutdown and ignored; anything else is logged.
+func (st *store) emit(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		st.logf("store: marshal %s: %v", typ, err)
+		return
+	}
+	st.mu.Lock()
+	st.apply(typ, data)
+	_, err = st.log.Append(typ, data)
+	st.dirty++
+	due := st.dirty >= st.snapEvery
+	if due && err == nil {
+		if state, merr := json.Marshal(st.m); merr == nil {
+			if serr := st.log.Snapshot(state); serr == nil {
+				st.dirty = 0
+			} else if !errors.Is(serr, wal.ErrClosed) {
+				st.logf("store: snapshot: %v", serr)
+			}
+		}
+	}
+	st.mu.Unlock()
+	if err != nil && !errors.Is(err, wal.ErrClosed) {
+		st.logf("store: append %s: %v", typ, err)
+	}
+}
+
+func (st *store) logf(format string, args ...any) {
+	if st.srv.logger != nil {
+		st.srv.logger.Printf(format, args...)
+	}
+}
+
+// apply folds one record into the mirror. It is the single transition
+// function shared by the live path (emit) and recovery, so replaying the
+// log always lands on the same mirror the crashed server had. Records for
+// unknown resources (a watcher outliving a DELETE) are dropped. Callers
+// hold st.mu; recovery calls it before any watcher exists.
+func (st *store) apply(typ string, data []byte) {
+	switch typ {
+	case recDeploymentCreated:
+		var r depCreatedRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		st.m.Deployments[r.ID] = &depMirror{Created: r}
+		if n := numSuffix(r.ID); n > st.m.NextID {
+			st.m.NextID = n
+		}
+	case recDeploymentEvent:
+		var r depEventRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if d := st.m.Deployments[r.ID]; d != nil {
+			// Seq 0 marks the start of a (possibly new, after a resume)
+			// build attempt: the old journal is superseded.
+			if r.Event.Seq == 0 {
+				d.Events = d.Events[:0]
+			}
+			d.Events = append(d.Events, r.Event)
+		}
+	case recDeploymentSettled:
+		var r depSettledRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if d := st.m.Deployments[r.ID]; d != nil {
+			d.State, d.Error = r.State, r.Error
+		}
+	case recDeploymentDeleted:
+		var r idRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		delete(st.m.Deployments, r.ID)
+	case recClusterOp:
+		var r clusterOpRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if d := st.m.Deployments[r.ID]; d != nil {
+			d.Ops = append(d.Ops, r)
+		}
+	case recFleetCreated:
+		var r fleetCreatedRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		st.m.Fleets[r.ID] = &fleetMirror{Created: r, Provisioned: r.Provisioned}
+		if n := numSuffix(r.ID); n > st.m.NextFleetID {
+			st.m.NextFleetID = n
+		}
+	case recFleetMember:
+		var r fleetMemberRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if f := st.m.Fleets[r.ID]; f != nil {
+			if r.Event.Seq == 0 {
+				f.Events = f.Events[:0]
+			}
+			f.Events = append(f.Events, r.Event)
+		}
+	case recFleetProvisioned:
+		var r idRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if f := st.m.Fleets[r.ID]; f != nil {
+			f.Provisioned = true
+		}
+	case recFleetDeleted:
+		var r idRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		delete(st.m.Fleets, r.ID)
+	case recScenarioStarted:
+		var r scenarioStartedRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if f := st.m.Fleets[r.FleetID]; f != nil {
+			f.Runs = append(f.Runs, &runMirror{Started: r})
+		}
+	case recScenarioProgress:
+		var r scenarioProgressRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if run := st.findRun(r.FleetID, r.RunID); run != nil {
+			run.Cursor, run.Hash = r.Cursor, r.Hash
+		}
+	case recScenarioSettled:
+		var r scenarioSettledRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if run := st.findRun(r.FleetID, r.RunID); run != nil {
+			run.State, run.Error, run.Result = r.State, r.Error, r.Result
+		}
+	}
+}
+
+func (st *store) findRun(fleetID, runID string) *runMirror {
+	f := st.m.Fleets[fleetID]
+	if f == nil {
+		return nil
+	}
+	for _, run := range f.Runs {
+		if run.Started.RunID == runID {
+			return run
+		}
+	}
+	return nil
+}
+
+// numSuffix parses the numeric part of a "d7" / "f3" / "s2" identifier.
+func numSuffix(id string) int {
+	if len(id) < 2 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// watchDeployment streams a live deployment's journal into the WAL until
+// the build settles, then records the terminal state. It is the live
+// counterpart of the journal the archived path reloads.
+func (st *store) watchDeployment(dep *deployment) {
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		final := dep.Handle.Watch(st.ctx, func(ev xcbc.Event) {
+			st.emit(recDeploymentEvent, depEventRec{ID: dep.ID, Event: eventInfoOf(ev)})
+		})
+		if !final.Terminal() {
+			return // store shutting down; the next recovery reconciles
+		}
+		rec := depSettledRec{ID: dep.ID, State: string(final)}
+		if err := dep.Handle.Err(); err != nil {
+			rec.Error = err.Error()
+		}
+		st.emit(recDeploymentSettled, rec)
+	}()
+}
+
+// attachFleet taps the fleet's aggregate journal so member lifecycle
+// entries persist past the ring's eviction.
+func (st *store) attachFleet(fr *fleetRecord) {
+	id := fr.ID
+	fr.Fleet.SetJournalSink(func(ev xcbc.Event) {
+		st.emit(recFleetMember, fleetMemberRec{ID: id, Event: eventInfoOf(ev)})
+	})
+}
+
+// traceHash is the rolling FNV-1a digest over a trace's JSONL prefix —
+// the replay oracle's fingerprint. Feeding it the same events in the same
+// order always lands on the same (cursor, sum) pairs, because the trace
+// bytes are themselves part of the scenario determinism contract.
+type traceHash struct {
+	h      hash.Hash64
+	cursor int
+}
+
+func newTraceHash() *traceHash {
+	return &traceHash{h: fnv.New64a()}
+}
+
+// add folds one trace event in and returns the cursor and digest after it.
+func (th *traceHash) add(ev xcbc.TraceEvent) (int, uint64) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return th.cursor, th.h.Sum64()
+	}
+	th.h.Write(line)
+	th.h.Write([]byte{'\n'})
+	th.cursor = ev.Seq + 1
+	return th.cursor, th.h.Sum64()
+}
+
+// replayTarget is the recorded (cursor, hash) a recovery replay must
+// reproduce before its result may be trusted.
+type replayTarget struct {
+	cursor int
+	hash   uint64
+}
+
+// materialize turns the recovered mirror into live server resources. It
+// runs with the server constructed but not yet serving, so it takes the
+// server's locks only for map writes.
+func (st *store) materialize(report *RecoveryReport) error {
+	s := st.srv
+
+	// Deployments first (fleets do not depend on them). Copy what is
+	// needed out of the mirror before spawning watchers that mutate it.
+	st.mu.Lock()
+	depIDs := make([]string, 0, len(st.m.Deployments))
+	for id := range st.m.Deployments {
+		depIDs = append(depIDs, id)
+	}
+	sortByNum(depIDs)
+	deps := make([]depMirror, 0, len(depIDs))
+	for _, id := range depIDs {
+		d := st.m.Deployments[id]
+		cp := *d
+		cp.Events = append([]eventInfo(nil), d.Events...)
+		cp.Ops = append([]clusterOpRec(nil), d.Ops...)
+		deps = append(deps, cp)
+	}
+	nextID, nextFleetID := st.m.NextID, st.m.NextFleetID
+	fleetIDs := make([]string, 0, len(st.m.Fleets))
+	for id := range st.m.Fleets {
+		fleetIDs = append(fleetIDs, id)
+	}
+	sortByNum(fleetIDs)
+	fleets := make([]fleetMirror, 0, len(fleetIDs))
+	for _, id := range fleetIDs {
+		f := st.m.Fleets[id]
+		cp := *f
+		cp.Events = append([]eventInfo(nil), f.Events...)
+		runs := make([]*runMirror, len(f.Runs))
+		for i, r := range f.Runs {
+			rc := *r
+			runs[i] = &rc
+		}
+		cp.Runs = runs
+		fleets = append(fleets, cp)
+	}
+	st.mu.Unlock()
+
+	report.Deployments = len(deps)
+	for _, m := range deps {
+		dep, err := st.recoverDeployment(m, report)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.deployments[dep.ID] = dep
+		s.mu.Unlock()
+	}
+
+	report.Fleets = len(fleets)
+	for _, m := range fleets {
+		fr, err := st.recoverFleet(m, report)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.fleets[fr.ID] = fr
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	if nextID > s.nextID {
+		s.nextID = nextID
+	}
+	if nextFleetID > s.nextFleetID {
+		s.nextFleetID = nextFleetID
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// recoverDeployment materializes one deployment from its mirror entry.
+func (st *store) recoverDeployment(m depMirror, report *RecoveryReport) (*deployment, error) {
+	s := st.srv
+	dep := &deployment{
+		ID:      m.Created.ID,
+		Path:    m.Created.Path,
+		Created: m.Created.Created,
+		Req:     m.Created.Req,
+		Cluster: m.Created.Cluster,
+		Site:    m.Created.Site,
+		Nodes:   m.Created.Nodes,
+	}
+	archive := func(state, errMsg string) {
+		dep.arch = &archivedDeployment{State: state, Error: errMsg, Events: m.Events}
+		report.Archived++
+	}
+	switch m.State {
+	case string(xcbc.StateReady):
+		// Rebuild deterministically from the recorded request, then replay
+		// the recorded day-2 operations in log order. A rebuild that does
+		// not land ready again (it should: the simulated substrate is
+		// deterministic for a request that already succeeded once) archives
+		// as failed rather than presenting a half-true cluster.
+		h, _, err := s.startBuild(m.Created.Req)
+		if err != nil {
+			archive(string(xcbc.StateFailed), "recovery rebuild: "+err.Error())
+			return dep, nil
+		}
+		if _, err := h.Wait(st.ctx); err != nil {
+			h.Cancel()
+			archive(string(xcbc.StateFailed), "recovery rebuild settled "+string(h.Status())+": "+err.Error())
+			return dep, nil
+		}
+		dep.Handle = h
+		report.Rebuilt++
+		cl, err := h.Cluster()
+		if err != nil {
+			return nil, fmt.Errorf("api: recovering %s: %w", dep.ID, err)
+		}
+		for _, op := range m.Ops {
+			if err := replayOp(cl, op); err != nil {
+				st.logf("store: %s: replaying %s: %v", dep.ID, op.Op, err)
+				continue
+			}
+			report.OpsReplayed++
+		}
+	case string(xcbc.StateFailed), string(xcbc.StateCancelled):
+		archive(m.State, m.Error)
+	default:
+		// No settled record: the server died with this build in flight.
+		if st.resume {
+			h, _, err := s.startBuild(m.Created.Req)
+			if err != nil {
+				archive(string(xcbc.StateFailed), "recovery resume: "+err.Error())
+				break
+			}
+			dep.Handle = h
+			st.watchDeployment(dep)
+			report.Resumed++
+			break
+		}
+		msg := "interrupted: the server terminated while this deployment was building"
+		st.emit(recDeploymentSettled, depSettledRec{
+			ID: dep.ID, State: string(xcbc.StateFailed), Error: msg,
+		})
+		dep.arch = &archivedDeployment{State: string(xcbc.StateFailed), Error: msg, Events: m.Events}
+		report.Interrupted++
+	}
+	return dep, nil
+}
+
+// recoverFleet materializes one fleet and its scenario-run history.
+func (st *store) recoverFleet(m fleetMirror, report *RecoveryReport) (*fleetRecord, error) {
+	fl, err := xcbc.NewFleet(fleetSpecOf(m.Created.Req))
+	if err != nil {
+		return nil, fmt.Errorf("api: recovering fleet %s: %w", m.Created.ID, err)
+	}
+	fr := &fleetRecord{
+		ID:      m.Created.ID,
+		Name:    m.Created.Name,
+		Created: m.Created.Created,
+		Fleet:   fl,
+	}
+
+	// An in-flight run that arms kickstart faults must replay against a
+	// fleet whose builds have not started; its provision phase will build
+	// the members itself.
+	var inflight *runMirror
+	for _, run := range m.Runs {
+		if run.State == "" {
+			inflight = run
+		}
+		if n := numSuffix(run.Started.RunID); n > fr.nextRun {
+			fr.nextRun = n
+		}
+	}
+	var inflightSc *xcbc.Scenario
+	if inflight != nil {
+		if inflightSc, err = xcbc.LoadScenario(inflight.Started.Scenario); err != nil {
+			return nil, fmt.Errorf("api: recovering run %s/%s: %w", fr.ID, inflight.Started.RunID, err)
+		}
+	}
+	if m.Provisioned && (inflightSc == nil || !inflightSc.RequiresFreshFleet()) {
+		if err := fl.Provision(st.ctx); err != nil {
+			return nil, fmt.Errorf("api: re-provisioning fleet %s: %w", fr.ID, err)
+		}
+		st.attachFleet(fr)
+		if err := fl.Wait(st.ctx); err != nil {
+			return nil, fmt.Errorf("api: re-provisioning fleet %s: %w", fr.ID, err)
+		}
+	} else {
+		st.attachFleet(fr)
+	}
+
+	for _, rm := range m.Runs {
+		run := &scenarioRun{
+			ID:       rm.Started.RunID,
+			Scenario: rm.Started.Name,
+			Created:  rm.Started.Created,
+			done:     make(chan struct{}),
+		}
+		if rm.State != "" {
+			// Settled before the crash: reload the full recorded result.
+			run.state = rm.State
+			if rm.Error != "" {
+				run.err = errors.New(rm.Error)
+			}
+			if len(rm.Result) > 0 {
+				if run.result, err = xcbc.RestoreScenarioResult(rm.Result); err != nil {
+					return nil, fmt.Errorf("api: restoring run %s/%s: %w", fr.ID, run.ID, err)
+				}
+			}
+			close(run.done)
+			report.Runs++
+			fr.runs = append(fr.runs, run)
+			continue
+		}
+		// In flight at the crash: replay from the seed and verify the
+		// trace prefix against the recorded cursor and hash.
+		run.state = "running"
+		fr.runs = append(fr.runs, run)
+		fr.runLive = true
+		target := &replayTarget{cursor: rm.Cursor, hash: rm.Hash}
+		st.srv.executeRun(fr, run, inflightSc, target)
+		report.Replayed++
+		if run.state == "error" && run.err != nil && errors.Is(run.err, errReplayDiverged) {
+			report.ReplayMismatches++
+		}
+	}
+	return fr, nil
+}
+
+// errReplayDiverged marks a recovery replay whose regenerated trace did
+// not reproduce the recorded prefix hash.
+var errReplayDiverged = errors.New("replay diverged from the recorded trace")
+
+// replayOp re-executes one recorded day-2 operation against a rebuilt
+// cluster. Ops replay in their original order, so sequential effects (job
+// IDs, poll counts, the virtual clock) land where they were.
+func replayOp(cl *xcbc.Cluster, op clusterOpRec) error {
+	switch op.Op {
+	case "job.submit":
+		if op.Job == nil {
+			return errors.New("job.submit record without a job")
+		}
+		spec, err := jobSpecOf(*op.Job)
+		if err != nil {
+			return err
+		}
+		_, err = cl.SubmitJob(spec)
+		return err
+	case "job.cancel":
+		return cl.CancelJob(op.JobID)
+	case "advance":
+		d, err := time.ParseDuration(op.Duration)
+		if err != nil {
+			return err
+		}
+		cl.Advance(d)
+		return nil
+	case "updates":
+		policy, err := updatePolicyOf(op.Policy)
+		if err != nil {
+			return err
+		}
+		cl.CheckUpdates(policy, op.At)
+		return nil
+	case "metrics":
+		cl.Metrics()
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", op.Op)
+}
+
+// recordOp journals one replayable day-2 mutation; a no-op on a
+// memory-only server.
+func (s *Server) recordOp(op clusterOpRec) {
+	if s.store != nil {
+		s.store.emit(recClusterOp, op)
+	}
+}
+
+// sortByNum orders resource IDs by their numeric suffix, so recovery
+// materializes resources in creation order ("d2" before "d10").
+func sortByNum(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return numSuffix(ids[i]) < numSuffix(ids[j]) })
+}
+
+// storeInfo is the GET /api/v1/store document.
+type storeInfo struct {
+	Durable              bool   `json:"durable"`
+	DataDir              string `json:"data_dir,omitempty"`
+	NextSeq              uint64 `json:"next_seq,omitempty"`
+	SnapshotSeq          uint64 `json:"snapshot_seq,omitempty"`
+	RecordsSinceSnapshot uint64 `json:"records_since_snapshot,omitempty"`
+	Segments             int    `json:"segments,omitempty"`
+	WALBytes             int64  `json:"wal_bytes,omitempty"`
+	SnapshotBytes        int64  `json:"snapshot_bytes,omitempty"`
+	SnapshotAge          string `json:"snapshot_age,omitempty"`
+}
+
+// handleStore reports durability status: whether a data directory is
+// attached, and if so the WAL's size and the age of the newest snapshot.
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, storeInfo{Durable: false})
+		return
+	}
+	stats := s.store.log.Stats()
+	info := storeInfo{
+		Durable:              true,
+		DataDir:              stats.Dir,
+		NextSeq:              stats.NextSeq,
+		SnapshotSeq:          stats.SnapshotSeq,
+		RecordsSinceSnapshot: stats.NextSeq - stats.SnapshotSeq,
+		Segments:             stats.Segments,
+		WALBytes:             stats.WALBytes,
+		SnapshotBytes:        stats.SnapshotBytes,
+	}
+	if !stats.SnapshotTime.IsZero() {
+		info.SnapshotAge = s.clock().Sub(stats.SnapshotTime).Round(time.Millisecond).String()
+	}
+	writeJSON(w, http.StatusOK, info)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"xcbc/internal/fleet"
+	"xcbc/internal/orchestrator"
 )
 
 // Fleet-scale deployment: many clusters stamped from one recipe, built
@@ -143,11 +144,35 @@ func (f *Fleet) Member(i int) (*FleetMember, bool) {
 	return &FleetMember{m: m}, true
 }
 
+// SetJournalSink registers fn to receive every entry of the fleet's
+// aggregate lifecycle journal (one entry as each member's build settles)
+// as it is appended — the seam a durable store taps to persist fleet
+// history past the journal ring's eviction. fn runs under the journal's
+// lock and must be fast; nil detaches.
+func (f *Fleet) SetJournalSink(fn func(Event)) {
+	if fn == nil {
+		f.fl.Journal().SetSink(nil)
+		return
+	}
+	f.fl.Journal().SetSink(func(ev orchestrator.Event) {
+		fn(Event{Seq: ev.Seq, Stage: ev.Stage, Node: ev.Node,
+			Message: ev.Message, Packages: ev.Packages, Elapsed: ev.Elapsed})
+	})
+}
+
 // RunScenario drives this fleet through a scenario script (the fleet's
 // size must match the scenario's member count). See RunScenario for the
 // standalone form.
 func (f *Fleet) RunScenario(ctx context.Context, sc *Scenario) (*ScenarioResult, error) {
 	return runScenarioOn(ctx, f.fl, sc)
+}
+
+// RunScenarioObserved is RunScenario with a progress observer: obs is
+// called with every trace event as the run emits it, in trace order, on
+// the run's goroutine (nil obs behaves like RunScenario). It is the seam
+// a durable store uses to journal run progress as it happens.
+func (f *Fleet) RunScenarioObserved(ctx context.Context, sc *Scenario, obs func(TraceEvent)) (*ScenarioResult, error) {
+	return runScenarioObserved(ctx, f.fl, sc, obs)
 }
 
 // FleetMember is one cluster of a fleet.

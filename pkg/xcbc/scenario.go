@@ -2,6 +2,7 @@ package xcbc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -174,11 +175,38 @@ func RunScenario(ctx context.Context, s *Scenario) (*ScenarioResult, error) {
 
 // runScenarioOn is Fleet.RunScenario's implementation.
 func runScenarioOn(ctx context.Context, fl *fleet.Fleet, s *Scenario) (*ScenarioResult, error) {
-	res, err := scenario.RunOn(ctx, fl, s.sc)
+	return runScenarioObserved(ctx, fl, s, nil)
+}
+
+// runScenarioObserved is Fleet.RunScenarioObserved's implementation.
+func runScenarioObserved(ctx context.Context, fl *fleet.Fleet, s *Scenario, obs func(TraceEvent)) (*ScenarioResult, error) {
+	var inner scenario.Observer
+	if obs != nil {
+		inner = func(ev scenario.Event) { obs(TraceEvent(ev)) }
+	}
+	res, err := scenario.RunOnObserved(ctx, fl, s.sc, inner)
 	if err != nil {
 		return nil, translateScenario(err)
 	}
 	return &ScenarioResult{r: res}, nil
+}
+
+// ResultJSON renders the full result — stats, violations, and the
+// complete trace — as JSON that RestoreScenarioResult round-trips. This
+// is the persistence form durable stores write at run settlement.
+func (r *ScenarioResult) ResultJSON() ([]byte, error) {
+	return json.Marshal(r.r)
+}
+
+// RestoreScenarioResult reconstructs a settled scenario result from the
+// JSON that ResultJSON produced — the path a restarted store takes to
+// reload finished runs without replaying them.
+func RestoreScenarioResult(data []byte) (*ScenarioResult, error) {
+	var res scenario.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("xcbc: restore scenario result: %w", err)
+	}
+	return &ScenarioResult{r: &res}, nil
 }
 
 func translateScenario(err error) error {
