@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"xcbc/pkg/xcbc"
+)
+
+// campaignCmd dispatches `clusterctl campaign run`: sweep N generated
+// scenarios locally through the SDK, checking the full metamorphic battery
+// (script asserts, trace determinism, conservation checks, WAL recovery
+// equivalence) and shrinking any failure to a minimal repro script.
+//
+//	clusterctl campaign run -seeds 64 -workers 8
+//	clusterctl campaign run -seeds 32 -start-seed 1000 -repro-dir ./repros -v
+//
+// Exit codes: 0 every seed passed, 1 the sweep ran and found failures,
+// 2 the campaign itself was unusable (bad flags, cancelled mid-sweep).
+func campaignCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "clusterctl campaign: need a subcommand: run")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	if sub != "run" {
+		fmt.Fprintf(stderr, "clusterctl campaign: unknown subcommand %q (use run)\n", sub)
+		return 2
+	}
+	fs := flag.NewFlagSet("campaign run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 32, "how many consecutive seeds to sweep")
+	startSeed := fs.Int64("start-seed", 0, "first seed (shard a seed space across campaigns)")
+	workers := fs.Int("workers", 0, "concurrent seed runs (0 = min(8, GOMAXPROCS))")
+	shrinkBudget := fs.Int("shrink-budget", 0, "shrink evaluations per failure (0 = default)")
+	reproDir := fs.String("repro-dir", "", "write each failure's minimized repro script into this directory")
+	verbose := fs.Bool("v", false, "print every seed's outcome as it lands")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "clusterctl campaign run: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	spec := xcbc.CampaignSpec{
+		Seeds: *seeds, StartSeed: *startSeed,
+		Workers: *workers, ShrinkBudget: *shrinkBudget,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(stderr, "clusterctl campaign run:", err)
+		return 2
+	}
+	if *reproDir != "" {
+		if err := os.MkdirAll(*reproDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "clusterctl campaign run:", err)
+			return 2
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Fprintf(stdout, "sweeping %d seeds from %d (each: 2 runs + trace battery + recovery check)\n",
+		spec.Seeds, spec.StartSeed)
+	res, err := xcbc.RunCampaignObserved(ctx, spec, func(out xcbc.CampaignSeedOutcome) {
+		if *verbose || out.State != xcbc.CampaignSeedPassed {
+			fmt.Fprintf(stdout, "  seed %-6d %s\n", out.Seed, out.State)
+		}
+		for _, v := range out.Violations {
+			fmt.Fprintln(stdout, "    -", v)
+		}
+	})
+	if res == nil {
+		fmt.Fprintln(stderr, "clusterctl campaign run:", err)
+		return 2
+	}
+
+	for _, f := range res.Failures {
+		fmt.Fprintf(stdout, "seed %d shrank to %d phases in %d evaluations\n",
+			f.Seed, f.ReproPhases, f.ShrinkEvals)
+		if *reproDir != "" {
+			path := filepath.Join(*reproDir, fmt.Sprintf("repro-seed-%d.json", f.Seed))
+			if werr := os.WriteFile(path, f.Repro, 0o644); werr != nil {
+				fmt.Fprintln(stderr, "clusterctl campaign run: writing repro:", werr)
+			} else {
+				fmt.Fprintf(stdout, "  repro written to %s (replay: clusterctl fleet run %s)\n", path, path)
+			}
+		} else {
+			fmt.Fprintf(stdout, "  repro:\n%s\n", f.Repro)
+		}
+	}
+	fmt.Fprintf(stdout, "campaign: %d/%d seeds passed, %d failed, %d errored\n",
+		res.Passed, res.Seeds, res.Failed, res.Errors)
+	switch {
+	case err != nil:
+		fmt.Fprintln(stderr, "clusterctl campaign run: sweep interrupted:", err)
+		return 2
+	case res.Failed > 0:
+		return 1
+	case res.Errors > 0:
+		fmt.Fprintln(stderr, "clusterctl campaign run: some seeds did not complete")
+		return 2
+	}
+	return 0
+}
+
+// scenarioCmd dispatches `clusterctl scenario validate <file.json>`: parse
+// and validate a scenario script without running it. Exit codes: 0 the
+// script is valid, 1 it is not (the problem is printed), 2 usage errors.
+func scenarioCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "clusterctl scenario: need a subcommand: validate")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	if sub != "validate" {
+		fmt.Fprintf(stderr, "clusterctl scenario: unknown subcommand %q (use validate)\n", sub)
+		return 2
+	}
+	if len(rest) != 1 {
+		fmt.Fprintln(stderr, "clusterctl scenario validate: need exactly one scenario JSON file")
+		return 2
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "clusterctl scenario validate:", err)
+		return 1
+	}
+	sc, err := xcbc.LoadScenario(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "clusterctl scenario validate:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: valid (%d members, %d phases, seed %d)\n",
+		rest[0], sc.Members(), sc.Phases(), sc.Seed())
+	return 0
+}

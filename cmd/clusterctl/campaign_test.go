@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xcbc/pkg/xcbc"
+)
+
+func runCampaign(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = campaignCmd(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func runScenario(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = scenarioCmd(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCampaignUsageErrors(t *testing.T) {
+	if code, _, _ := runCampaign(t); code != 2 {
+		t.Fatalf("no subcommand: exit %d, want 2", code)
+	}
+	if code, _, _ := runCampaign(t, "warp"); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code, _, _ := runCampaign(t, "run", "-seeds", "0"); code != 2 {
+		t.Fatalf("zero seeds: exit %d, want 2", code)
+	}
+	if code, _, _ := runCampaign(t, "run", "-seeds", "2", "stray"); code != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", code)
+	}
+	if code, _, _ := runCampaign(t, "run", "-not-a-flag"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestCampaignRunClean sweeps a few seeds on the fixed tree: every
+// generated scenario must pass the full battery and the command must exit
+// zero with the summary on stdout.
+func TestCampaignRunClean(t *testing.T) {
+	code, out, stderr := runCampaign(t, "run", "-seeds", "3", "-workers", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "3/3 seeds passed") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	for _, seed := range []string{"seed 0", "seed 1", "seed 2"} {
+		if !strings.Contains(out, seed) {
+			t.Fatalf("-v output missing %q:\n%s", seed, out)
+		}
+	}
+}
+
+func TestScenarioValidateValid(t *testing.T) {
+	doc, err := xcbc.GenerateScenario(5).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gen.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runScenario(t, "validate", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "valid") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestScenarioValidateInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not-json":     `{{{`,
+		"unknown-kind": `{"name":"x","fleet":{"members":1},"phases":[{"kind":"warp"}]}`,
+		"stray-field":  `{"name":"x","fleet":{"members":1},"phases":[{"kind":"provision","count":3}]}`,
+		"no-cores":     `{"name":"x","fleet":{"members":1},"phases":[{"kind":"provision"},{"kind":"jobs","count":1,"runtime":"10m"}]}`,
+	}
+	for name, script := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code, _, stderr := runScenario(t, "validate", path)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, "invalid scenario") {
+				t.Fatalf("stderr does not explain: %s", stderr)
+			}
+		})
+	}
+	if code, _, _ := runScenario(t, "validate", filepath.Join(t.TempDir(), "missing.json")); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	if code, _, _ := runScenario(t, "validate"); code != 2 {
+		t.Fatalf("no file: exit %d, want 2", code)
+	}
+	if code, _, _ := runScenario(t, "shrink"); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+}
+
+// TestCampaignReproRoundTrip writes repros with -repro-dir and checks any
+// produced file loads back as a valid scenario. A clean sweep writes none;
+// the directory must simply exist and the command must not fail because of
+// the flag.
+func TestCampaignReproRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repros")
+	code, out, stderr := runCampaign(t, "run", "-seeds", "2", "-workers", "2", "-repro-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("repro dir not created: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := xcbc.LoadScenario(data); err != nil {
+			t.Fatalf("written repro %s does not load: %v", e.Name(), err)
+		}
+	}
+}

@@ -9,10 +9,15 @@
 //	clusterctl deploy -cluster littlefe -parallelism 8 -watch
 //	clusterctl fleet scenarios
 //	clusterctl fleet run campus-100 [-seed N] [-trace out.jsonl] [-v]
+//	clusterctl campaign run -seeds 64 -workers 8 [-repro-dir DIR]
+//	clusterctl scenario validate chaos.json
 //
 // The fleet subcommand drives the scenario engine locally: provision a
 // whole fleet of simulated clusters, inject seeded chaos, run day-2
 // operations, and check invariants, emitting a deterministic JSONL trace.
+// The campaign subcommand sweeps generated scenarios across many seeds and
+// shrinks any failure to a minimal repro; scenario validate checks a
+// script without running it.
 //
 // The deploy subcommand drives the asynchronous orchestrator path: the
 // build starts as a background job; -watch streams its journal to the
@@ -62,6 +67,10 @@ func main() {
 			os.Exit(deployCmd(os.Args[2:]))
 		case "fleet":
 			os.Exit(fleetCmd(os.Args[2:], os.Stdout, os.Stderr))
+		case "campaign":
+			os.Exit(campaignCmd(os.Args[2:], os.Stdout, os.Stderr))
+		case "scenario":
+			os.Exit(scenarioCmd(os.Args[2:], os.Stdout, os.Stderr))
 		case "jobs":
 			os.Exit(jobsCmd(os.Args[2:]))
 		case "metrics":

@@ -68,10 +68,11 @@ func main() {
 	}
 	defer srv.Close()
 	if rec != nil {
-		fmt.Printf("recovered %s in %v: %d deployments (%d rebuilt, %d archived, %d interrupted, %d resumed, %d ops replayed), %d fleets, %d runs (%d replayed, %d diverged)\n",
+		fmt.Printf("recovered %s in %v: %d deployments (%d rebuilt, %d archived, %d interrupted, %d resumed, %d ops replayed), %d fleets, %d runs (%d replayed, %d diverged), %d campaigns (%d interrupted)\n",
 			rec.DataDir, rec.Elapsed.Round(time.Millisecond),
 			rec.Deployments, rec.Rebuilt, rec.Archived, rec.Interrupted, rec.Resumed, rec.OpsReplayed,
-			rec.Fleets, rec.Runs, rec.Replayed, rec.ReplayMismatches)
+			rec.Fleets, rec.Runs, rec.Replayed, rec.ReplayMismatches,
+			rec.Campaigns, rec.CampaignsInterrupted)
 		if rec.Repaired {
 			fmt.Printf("repaired torn WAL tail (%d bytes dropped)\n", rec.DroppedBytes)
 		}

@@ -1,16 +1,33 @@
 package scenario
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzScenarioDecode hardens the scenario decoder: whatever bytes arrive
 // (malformed phases, negative counts, unknown fault kinds, truncated JSON),
 // Decode must either return a valid scenario or an error — never panic —
 // and anything it accepts must survive an encode/decode round trip.
 func FuzzScenarioDecode(f *testing.F) {
-	// Seed corpus: the builtins, a minimal valid script, and a pile of
-	// near-misses for each validation rule.
+	// Seed corpus: the builtins, generator-promoted scripts from testdata
+	// (committed output of Generate, exercising every phase grammar the
+	// campaign sweeps), a minimal valid script, and a pile of near-misses
+	// for each validation rule.
 	for _, name := range Builtins() {
 		data, err := Builtin(name).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	promoted, err := filepath.Glob(filepath.Join("testdata", "gen-*.json"))
+	if err != nil || len(promoted) == 0 {
+		f.Fatalf("no promoted generator scripts in testdata: %v", err)
+	}
+	for _, path := range promoted {
+		data, err := os.ReadFile(path)
 		if err != nil {
 			f.Fatal(err)
 		}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestGenerateDeterministic is the generator's determinism contract:
+// Generate(seed) called twice must produce byte-identical JSON.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, err := Generate(seed).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s", seed, firstDiff(a, b))
+		}
+	}
+}
+
+// TestGenerateAlwaysValid sweeps seeds and checks the grammar's promises:
+// every scenario validates, round-trips through Decode, provisions before
+// any day-2 phase, arms kickstart faults only pre-provision, and ends on
+// an assert.
+func TestGenerateAlwaysValid(t *testing.T) {
+	seeds := int64(500)
+	if testing.Short() {
+		seeds = 100
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		sc := Generate(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sc.Seed != seed {
+			t.Fatalf("seed %d: scenario carries seed %d", seed, sc.Seed)
+		}
+		data, err := sc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			t.Fatalf("seed %d: generated JSON does not decode: %v", seed, err)
+		}
+		provisionAt := -1
+		for i, p := range sc.Phases {
+			switch {
+			case p.Kind == KindProvision:
+				if provisionAt >= 0 {
+					t.Fatalf("seed %d: two provision phases", seed)
+				}
+				provisionAt = i
+			case p.Kind == KindFault && p.Fault == FaultKickstart:
+				if provisionAt >= 0 {
+					t.Fatalf("seed %d: kickstart fault after provision (phase %d)", seed, i)
+				}
+			default:
+				if provisionAt < 0 {
+					t.Fatalf("seed %d: day-2 phase %d (%s) before provision", seed, i, p.Kind)
+				}
+			}
+		}
+		if provisionAt < 0 {
+			t.Fatalf("seed %d: no provision phase", seed)
+		}
+		if last := sc.Phases[len(sc.Phases)-1]; last.Kind != KindAssert {
+			t.Fatalf("seed %d: last phase is %s, want assert", seed, last.Kind)
+		}
+	}
+}
+
+// TestGeneratedScenariosHoldTheirInvariants runs a handful of generated
+// scenarios end to end: the grammar promises the built-in asserts hold by
+// construction, so any violation here is a generator bug (or a real engine
+// bug — exactly what a campaign exists to surface).
+func TestGeneratedScenariosHoldTheirInvariants(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		res, err := Run(context.Background(), Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Passed {
+			t.Fatalf("seed %d: generated scenario violated its own invariants: %v",
+				seed, res.Violations)
+		}
+	}
+}

@@ -213,6 +213,77 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
+// phaseFields names every kind-specific Phase field and reports whether it
+// carries a value — the table Phase.validate uses to reject fields that do
+// not apply to the phase's kind (a "provision" phase with a probability, a
+// "jobs" phase with a rollout wave). Dead knobs in a script are almost
+// always a typo'd kind or a copy-paste error; silently ignoring them hides
+// the mistake from both hand-written and generated scenarios.
+var phaseFields = []struct {
+	name string
+	set  func(*Phase) bool
+}{
+	{"fault", func(p *Phase) bool { return p.Fault != "" }},
+	{"probability", func(p *Phase) bool { return p.Probability != 0 }},
+	{"count", func(p *Phase) bool { return p.Count != 0 }},
+	{"max_cores", func(p *Phase) bool { return p.MaxCores != 0 }},
+	{"cores", func(p *Phase) bool { return p.Cores != 0 }},
+	{"runtime", func(p *Phase) bool { return p.Runtime != 0 }},
+	{"walltime", func(p *Phase) bool { return p.Walltime != 0 }},
+	{"duration", func(p *Phase) bool { return p.Duration != 0 }},
+	{"wave", func(p *Phase) bool { return p.Wave != 0 }},
+	{"policy", func(p *Phase) bool { return p.Policy != "" }},
+	{"package", func(p *Phase) bool { return p.Package != "" }},
+	{"version", func(p *Phase) bool { return p.Version != "" }},
+	{"invariants", func(p *Phase) bool { return len(p.Invariants) > 0 }},
+}
+
+// kindFields is the allow-list per phase kind. Fault phases narrow it
+// further per fault class (faultFields).
+var kindFields = map[string][]string{
+	KindProvision: {},
+	KindMetrics:   {},
+	KindFault:     {"fault", "probability", "count", "max_cores"},
+	KindJobs:      {"count", "cores", "runtime", "walltime"},
+	KindCancel:    {"count"},
+	KindAdvance:   {"duration"},
+	KindRollout:   {"wave", "policy", "package", "version"},
+	KindAssert:    {"invariants"},
+}
+
+// faultFields is the allow-list per fault class: a kickstart fault with a
+// count, or a quarantine fault with a probability, is a dead knob too.
+var faultFields = map[string][]string{
+	FaultKickstart:  {"fault", "probability"},
+	FaultQuarantine: {"fault", "count"},
+	FaultRepoOutage: {"fault", "probability"},
+	FaultJobFlood:   {"fault", "count", "max_cores"},
+}
+
+// checkNoStrayFields rejects any set field outside the allowed list.
+func (p *Phase) checkNoStrayFields(allowed []string) error {
+	for _, f := range phaseFields {
+		if !f.set(p) {
+			continue
+		}
+		ok := false
+		for _, a := range allowed {
+			if f.name == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			where := p.Kind
+			if p.Kind == KindFault && p.Fault != "" {
+				where = p.Fault + " fault"
+			}
+			return fmt.Errorf("field %q does not apply to a %s phase", f.name, where)
+		}
+	}
+	return nil
+}
+
 func (p *Phase) validate() error {
 	if p.Count < 0 {
 		return fmt.Errorf("negative count %d", p.Count)
@@ -225,6 +296,16 @@ func (p *Phase) validate() error {
 	}
 	if p.Runtime < 0 || p.Walltime < 0 || p.Duration < 0 {
 		return fmt.Errorf("negative duration field")
+	}
+	if allowed, ok := kindFields[p.Kind]; ok {
+		if p.Kind == KindFault {
+			if fa, ok := faultFields[p.Fault]; ok {
+				allowed = fa
+			}
+		}
+		if err := p.checkNoStrayFields(allowed); err != nil {
+			return err
+		}
 	}
 	switch p.Kind {
 	case KindProvision, KindMetrics:
@@ -247,6 +328,9 @@ func (p *Phase) validate() error {
 			if p.Count == 0 {
 				return fmt.Errorf("job-flood fault needs count > 0")
 			}
+			if p.MaxCores == 0 {
+				return fmt.Errorf("job-flood fault needs max_cores > 0")
+			}
 		case "":
 			return fmt.Errorf("fault kind is required")
 		default:
@@ -256,6 +340,9 @@ func (p *Phase) validate() error {
 	case KindJobs:
 		if p.Count == 0 {
 			return fmt.Errorf("jobs phase needs count > 0")
+		}
+		if p.Cores == 0 {
+			return fmt.Errorf("jobs phase needs cores > 0 (a zero-core job is degenerate)")
 		}
 		return nil
 	case KindCancel:

@@ -27,7 +27,7 @@ func TestDecodeValid(t *testing.T) {
 		"fleet": {"members": 2, "cluster": "littlefe", "nodes": 2},
 		"phases": [
 			{"kind": "provision"},
-			{"kind": "jobs", "count": 1, "runtime": "30m"},
+			{"kind": "jobs", "count": 1, "cores": 1, "runtime": "30m"},
 			{"kind": "assert", "invariants": [{"name": "all-ready"}]}
 		]
 	}`)
@@ -62,7 +62,24 @@ func TestDecodeRejects(t *testing.T) {
 		{"unknown fault kind", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"gremlins","probability":0.5}]}`},
 		{"missing fault kind", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault"}]}`},
 		{"negative count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":-1}]}`},
-		{"zero jobs count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs"}]}`},
+		{"zero jobs count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","cores":1}]}`},
+		{"zero jobs cores", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":1}]}`},
+		{"job-flood without max_cores", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"job-flood","count":3}]}`},
+		{"provision with probability", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"provision","probability":0.5}]}`},
+		{"provision with count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"provision","count":2}]}`},
+		{"metrics with invariants", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"metrics","invariants":[{"name":"all-ready"}]}]}`},
+		{"jobs with wave", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":1,"cores":1,"wave":3}]}`},
+		{"jobs with probability", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":1,"cores":1,"probability":0.5}]}`},
+		{"jobs with fault", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"jobs","count":1,"cores":1,"fault":"kickstart"}]}`},
+		{"cancel with cores", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"cancel","count":1,"cores":2}]}`},
+		{"advance with count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"advance","duration":"10m","count":1}]}`},
+		{"rollout with runtime", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"rollout","runtime":"10m"}]}`},
+		{"assert with duration", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"assert","duration":"10m","invariants":[{"name":"all-ready"}]}]}`},
+		{"kickstart with count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":0.5,"count":2}]}`},
+		{"kickstart with max_cores", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":0.5,"max_cores":4}]}`},
+		{"quarantine with probability", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"quarantine","count":1,"probability":0.5}]}`},
+		{"repo-outage with count", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"repo-outage","probability":0.5,"count":1}]}`},
+		{"job-flood with probability", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"job-flood","count":3,"max_cores":2,"probability":0.5}]}`},
 		{"probability too big", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":1.5}]}`},
 		{"probability negative", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"fault","fault":"kickstart","probability":-0.1}]}`},
 		{"bad duration", `{"name":"x","fleet":{"members":1},"phases":[{"kind":"advance","duration":"soon"}]}`},

@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"math"
+	"time"
+)
+
+// Delta-debugging shrinker: given a failing scenario and a predicate that
+// reproduces the failure, minimize the scenario while the failure still
+// reproduces. Shrinking proceeds in a fixed order — ddmin over the phase
+// list first (structure dominates size), then scalar reductions (fleet
+// sizing toward 1, counts toward 1, probabilities halved, optional knobs
+// dropped) — and every candidate must pass Validate before it is even
+// tried, so the minimized repro is always a loadable script.
+
+// ShrinkResult is a minimized scenario plus the work it took.
+type ShrinkResult struct {
+	// Scenario is the smallest still-failing scenario found.
+	Scenario *Scenario
+	// Evals counts predicate evaluations (candidate scenarios run).
+	Evals int
+}
+
+// defaultShrinkBudget bounds predicate evaluations; generated scenarios are
+// small, so the fixpoint is normally reached well under the cap.
+const defaultShrinkBudget = 400
+
+// Shrink minimizes sc while fails keeps reproducing. fails must be a pure
+// predicate: true means "this scenario still exhibits the failure". sc
+// itself must fail (callers check before shrinking); Shrink never returns
+// a scenario the predicate did not confirm. maxEvals caps predicate calls
+// (<= 0 means the default budget).
+func Shrink(sc *Scenario, fails func(*Scenario) bool, maxEvals int) *ShrinkResult {
+	if maxEvals <= 0 {
+		maxEvals = defaultShrinkBudget
+	}
+	s := &shrinker{fails: fails, budget: maxEvals, best: sc.clone()}
+	s.ddminPhases()
+	// Scalar passes can unlock further phase drops (a smaller fleet may
+	// make a phase irrelevant), so alternate until a full round is quiet.
+	for s.budget > 0 {
+		changed := s.scalarPass()
+		changed = s.ddminPhases() || changed
+		if !changed {
+			break
+		}
+	}
+	return &ShrinkResult{Scenario: s.best, Evals: s.evals}
+}
+
+type shrinker struct {
+	fails  func(*Scenario) bool
+	best   *Scenario
+	evals  int
+	budget int
+}
+
+// try evaluates one candidate; a reproducing candidate becomes the new
+// best. Invalid candidates are skipped without spending budget — the
+// predicate only ever sees loadable scenarios.
+func (s *shrinker) try(cand *Scenario) bool {
+	if s.budget <= 0 || cand.Validate() != nil {
+		return false
+	}
+	s.evals++
+	s.budget--
+	if !s.fails(cand) {
+		return false
+	}
+	s.best = cand
+	return true
+}
+
+// ddminPhases runs the classic ddmin loop over the phase list: try
+// dropping ever-finer chunks, restarting at coarse granularity whenever a
+// drop reproduces. Reports whether any phase was removed.
+func (s *shrinker) ddminPhases() bool {
+	shrunk := false
+	n := 2
+	for len(s.best.Phases) >= 2 && s.budget > 0 {
+		if n > len(s.best.Phases) {
+			n = len(s.best.Phases)
+		}
+		chunk := (len(s.best.Phases) + n - 1) / n
+		dropped := false
+		for start := 0; start < len(s.best.Phases); start += chunk {
+			end := start + chunk
+			if end > len(s.best.Phases) {
+				end = len(s.best.Phases)
+			}
+			cand := s.best.clone()
+			cand.Phases = append(cand.Phases[:start:start], cand.Phases[end:]...)
+			if len(cand.Phases) == 0 {
+				continue
+			}
+			if s.try(cand) {
+				dropped, shrunk = true, true
+				n = 2 // restart coarse on the smaller scenario
+				break
+			}
+		}
+		if !dropped {
+			if n >= len(s.best.Phases) {
+				break // finest granularity, nothing droppable
+			}
+			n *= 2
+		}
+	}
+	return shrunk
+}
+
+// scalarPass greedily applies every field-level reduction that keeps the
+// failure reproducing, repeating until one full pass accepts nothing.
+// Reports whether anything was reduced.
+func (s *shrinker) scalarPass() bool {
+	shrunk := false
+	for s.budget > 0 {
+		accepted := false
+		for _, mutate := range s.mutations() {
+			cand := s.best.clone()
+			if !mutate(cand) {
+				continue // mutation does not apply to the current best
+			}
+			if s.try(cand) {
+				accepted, shrunk = true, true
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return shrunk
+}
+
+// mutations enumerates the scalar reductions against the CURRENT best, in
+// a fixed order: fleet sizing first (it dominates run cost), then
+// per-phase knobs. Each mutation returns false when it cannot reduce
+// further.
+func (s *shrinker) mutations() []func(*Scenario) bool {
+	muts := []func(*Scenario) bool{
+		func(c *Scenario) bool { return shrinkInt(&c.Fleet.Members, 1) },
+		func(c *Scenario) bool { return shrinkInt(&c.Fleet.Nodes, 1) },
+		func(c *Scenario) bool { return zeroInt(&c.Fleet.Parallelism) },
+		func(c *Scenario) bool { return zeroInt(&c.Fleet.Retries) },
+	}
+	for i := range s.best.Phases {
+		i := i
+		muts = append(muts,
+			func(c *Scenario) bool { return shrinkInt(&c.Phases[i].Count, 1) },
+			func(c *Scenario) bool { return shrinkInt(&c.Phases[i].Cores, 1) },
+			func(c *Scenario) bool { return shrinkInt(&c.Phases[i].MaxCores, 1) },
+			func(c *Scenario) bool { return zeroInt(&c.Phases[i].Wave) },
+			func(c *Scenario) bool { return halveProb(&c.Phases[i].Probability) },
+			func(c *Scenario) bool { return zeroDur(&c.Phases[i].Runtime) },
+			func(c *Scenario) bool { return zeroDur(&c.Phases[i].Walltime) },
+			func(c *Scenario) bool { return shrinkDur(&c.Phases[i].Duration) },
+			func(c *Scenario) bool {
+				p := &c.Phases[i]
+				if p.Package == "" && p.Version == "" {
+					return false
+				}
+				p.Package, p.Version = "", ""
+				return true
+			},
+			func(c *Scenario) bool {
+				p := &c.Phases[i]
+				if len(p.Invariants) <= 1 {
+					return false
+				}
+				p.Invariants = p.Invariants[1:]
+				return true
+			},
+			func(c *Scenario) bool {
+				p := &c.Phases[i]
+				if len(p.Invariants) <= 1 {
+					return false
+				}
+				p.Invariants = p.Invariants[:len(p.Invariants)-1]
+				return true
+			},
+		)
+	}
+	return muts
+}
+
+// shrinkInt halves v toward floor; false once already at or below floor.
+func shrinkInt(v *int, floor int) bool {
+	if *v <= floor {
+		return false
+	}
+	next := *v / 2
+	if next < floor {
+		next = floor
+	}
+	*v = next
+	return true
+}
+
+// zeroInt clears a knob where zero means "default"; false if already zero.
+func zeroInt(v *int) bool {
+	if *v == 0 {
+		return false
+	}
+	*v = 0
+	return true
+}
+
+// halveProb halves a probability, bottoming out at 0.001 so faults that
+// require probability > 0 stay valid.
+func halveProb(p *float64) bool {
+	if *p <= 0.001 {
+		return false
+	}
+	next := math.Round(*p/2*1000) / 1000
+	if next < 0.001 {
+		next = 0.001
+	}
+	*p = next
+	return true
+}
+
+// zeroDur clears an optional duration (runtime/walltime default sensibly).
+func zeroDur(d *Duration) bool {
+	if *d == 0 {
+		return false
+	}
+	*d = 0
+	return true
+}
+
+// shrinkDur halves a required duration toward one minute.
+func shrinkDur(d *Duration) bool {
+	min := Duration(time.Minute)
+	if *d <= min {
+		return false
+	}
+	next := *d / 2
+	if next < min {
+		next = min
+	}
+	*d = next
+	return true
+}
+
+// clone deep-copies a scenario so shrink candidates never alias the best's
+// phase or invariant storage.
+func (s *Scenario) clone() *Scenario {
+	c := *s
+	c.Phases = make([]Phase, len(s.Phases))
+	for i, p := range s.Phases {
+		c.Phases[i] = p
+		if len(p.Invariants) > 0 {
+			c.Phases[i].Invariants = append([]Invariant(nil), p.Invariants...)
+		}
+	}
+	return &c
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// plantedScenario is a deliberately bloated 12-phase script around one
+// "bug trigger": a job-flood fault following provision. Everything else is
+// noise the shrinker should strip.
+func plantedScenario() *Scenario {
+	return &Scenario{
+		Name: "planted",
+		Seed: 123,
+		Fleet: FleetSpec{
+			Members: 5, Cluster: "littlefe", Nodes: 4,
+			Parallelism: 2, Retries: 1, Workers: 4,
+		},
+		Phases: []Phase{
+			{Kind: KindFault, Fault: FaultKickstart, Probability: 0.1},
+			{Kind: KindProvision},
+			{Kind: KindJobs, Count: 3, Cores: 2, Runtime: 30 * minute, Walltime: 90 * minute},
+			{Kind: KindMetrics},
+			{Kind: KindFault, Fault: FaultQuarantine, Count: 2},
+			{Kind: KindAdvance, Duration: 60 * minute},
+			{Kind: KindFault, Fault: FaultJobFlood, Count: 8, MaxCores: 4},
+			{Kind: KindCancel, Count: 2},
+			{Kind: KindFault, Fault: FaultRepoOutage, Probability: 0.5},
+			{Kind: KindRollout, Wave: 2, Policy: "auto-apply", Package: "openmpi", Version: "99.0-1"},
+			{Kind: KindMetrics},
+			{Kind: KindAssert, Invariants: []Invariant{
+				{Name: InvAllReady},
+				{Name: InvJobsConserved},
+				{Name: InvMaxQuarantined, Limit: 40},
+			}},
+		},
+	}
+}
+
+// plantedBug reproduces iff the scenario still contains the trigger: a
+// provision phase followed (not necessarily adjacently) by a job-flood
+// fault. A pure structural predicate keeps the test fast and exact.
+func plantedBug(sc *Scenario) bool {
+	provisioned := false
+	for _, p := range sc.Phases {
+		if p.Kind == KindProvision {
+			provisioned = true
+		}
+		if provisioned && p.Kind == KindFault && p.Fault == FaultJobFlood {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShrinkPlantedScenario is the ISSUE's acceptance test: a planted
+// 12-phase failing scenario must minimize to <= 3 phases, with the scalar
+// knobs driven toward their floors, and the result must still validate and
+// still reproduce.
+func TestShrinkPlantedScenario(t *testing.T) {
+	sc := plantedScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("planted scenario invalid before shrinking: %v", err)
+	}
+	if !plantedBug(sc) {
+		t.Fatal("planted scenario does not trigger the planted bug")
+	}
+
+	res := Shrink(sc, plantedBug, 0)
+	min := res.Scenario
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	if !plantedBug(min) {
+		t.Fatal("shrunk scenario no longer reproduces")
+	}
+	if len(min.Phases) > 3 {
+		data, _ := min.Encode()
+		t.Fatalf("shrunk to %d phases, want <= 3:\n%s", len(min.Phases), data)
+	}
+	if min.Fleet.Members != 1 {
+		t.Errorf("fleet members = %d, want 1", min.Fleet.Members)
+	}
+	for i, p := range min.Phases {
+		if p.Kind == KindFault && p.Fault == FaultJobFlood {
+			if p.Count != 1 || p.MaxCores != 1 {
+				t.Errorf("phase %d: flood count=%d max_cores=%d, want both 1", i, p.Count, p.MaxCores)
+			}
+		}
+	}
+	if res.Evals == 0 || res.Evals > defaultShrinkBudget {
+		t.Errorf("evals = %d, want within (0, %d]", res.Evals, defaultShrinkBudget)
+	}
+
+	// The original must be untouched: shrinking works on clones.
+	if len(sc.Phases) != 12 || sc.Fleet.Members != 5 {
+		t.Fatal("Shrink mutated its input scenario")
+	}
+}
+
+// TestShrinkRespectsBudget caps evaluations and requires the shrinker to
+// stop at the cap while still returning a reproducing scenario.
+func TestShrinkRespectsBudget(t *testing.T) {
+	res := Shrink(plantedScenario(), plantedBug, 5)
+	if res.Evals > 5 {
+		t.Fatalf("evals = %d, want <= 5", res.Evals)
+	}
+	if !plantedBug(res.Scenario) {
+		t.Fatal("budget-limited shrink returned a non-reproducing scenario")
+	}
+}
+
+// TestShrinkCandidatesAlwaysValid drives the shrinker with a predicate
+// that records every candidate it sees; none may be invalid.
+func TestShrinkCandidatesAlwaysValid(t *testing.T) {
+	seen := 0
+	fails := func(sc *Scenario) bool {
+		seen++
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("shrinker offered an invalid candidate: %v", err)
+		}
+		return plantedBug(sc)
+	}
+	Shrink(plantedScenario(), fails, 0)
+	if seen == 0 {
+		t.Fatal("predicate never called")
+	}
+}
+
+// TestShrinkScalarFloors checks individual reduction helpers hit and hold
+// their floors.
+func TestShrinkScalarFloors(t *testing.T) {
+	v := 8
+	for shrinkInt(&v, 1) {
+	}
+	if v != 1 {
+		t.Errorf("shrinkInt floor = %d, want 1", v)
+	}
+	p := 0.5
+	for halveProb(&p) {
+	}
+	if p != 0.001 {
+		t.Errorf("halveProb floor = %v, want 0.001", p)
+	}
+	d := Duration(64 * time.Minute)
+	for shrinkDur(&d) {
+	}
+	if d != Duration(time.Minute) {
+		t.Errorf("shrinkDur floor = %v, want 1m", time.Duration(d))
+	}
+}

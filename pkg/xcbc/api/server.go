@@ -29,6 +29,9 @@
 //	POST   /api/v1/clusters/{id}/validate
 //	GET    /api/v1/clusters/{id}/updates[?policy=...]
 //	POST   /api/v1/clusters/{id}/advance
+//	GET    /api/v1/campaigns                — list generative chaos campaigns
+//	POST   /api/v1/campaigns                — 202 Accepted, sweep runs async
+//	GET    /api/v1/campaigns/{id}           — progress + failures with shrunk repros
 //
 // Deployments are asynchronous jobs: POST validates the request, starts the
 // build on the SDK's worker pool, and returns immediately with the
@@ -105,6 +108,10 @@ type Config struct {
 	// ResumeInterrupted restarts deployments the log shows mid-build at
 	// recovery, instead of archiving them as failed (interrupted).
 	ResumeInterrupted bool
+	// CampaignHook, when set, contributes extra violations to every run a
+	// campaign on this server checks — the deterministic fault-injection
+	// seam campaign tests use to plant invariant bugs.
+	CampaignHook xcbc.CampaignCheckHook
 }
 
 // routeInfo describes one versioned route, for both mux registration and
@@ -134,11 +141,17 @@ type Server struct {
 	closing     chan struct{}
 	closingOnce sync.Once
 
-	mu          sync.RWMutex
-	deployments map[string]*deployment
-	nextID      int
-	fleets      map[string]*fleetRecord
-	nextFleetID int
+	mu             sync.RWMutex
+	deployments    map[string]*deployment
+	nextID         int
+	fleets         map[string]*fleetRecord
+	nextFleetID    int
+	campaigns      map[string]*campaignRecord
+	nextCampaignID int
+
+	// campaignHook is Config.CampaignHook: the test-only planted-bug seam
+	// consulted by every campaign this server runs.
+	campaignHook xcbc.CampaignCheckHook
 }
 
 // deployment is one SDK deployment managed by the server. A live
@@ -269,13 +282,15 @@ func newServer(cfg Config) *Server {
 		clock = time.Now
 	}
 	s := &Server{
-		set:         repo.NewSet(),
-		clock:       clock,
-		logger:      cfg.Logger,
-		deployOpts:  cfg.DeployOptions,
-		closing:     make(chan struct{}),
-		deployments: make(map[string]*deployment),
-		fleets:      make(map[string]*fleetRecord),
+		set:          repo.NewSet(),
+		clock:        clock,
+		logger:       cfg.Logger,
+		deployOpts:   cfg.DeployOptions,
+		closing:      make(chan struct{}),
+		deployments:  make(map[string]*deployment),
+		fleets:       make(map[string]*fleetRecord),
+		campaigns:    make(map[string]*campaignRecord),
+		campaignHook: cfg.CampaignHook,
 	}
 	for _, r := range cfg.Repos {
 		s.set.Add(repo.Config{Repo: r, Priority: xcbc.XNITPriority, Enabled: true, GPGCheck: true})
@@ -317,6 +332,9 @@ func newServer(cfg Config) *Server {
 		{"POST", "/api/v1/fleets/{id}/scenarios", "run a scenario on the fleet, 202 Accepted", s.handleRunScenario},
 		{"GET", "/api/v1/fleets/{id}/scenarios", "list the fleet's scenario runs", s.handleScenarioRuns},
 		{"GET", "/api/v1/fleets/{id}/scenarios/{sid}", "run status, ?cursor= pages the trace", s.handleScenarioRun},
+		{"GET", "/api/v1/campaigns", "list generative chaos campaigns", s.handleCampaigns},
+		{"POST", "/api/v1/campaigns", "sweep generated scenarios, 202 Accepted", s.handleCreateCampaign},
+		{"GET", "/api/v1/campaigns/{id}", "campaign progress; failures carry shrunk repros", s.handleCampaign},
 	}
 	allow := make(map[string][]string)
 	for _, rt := range s.routes {

@@ -66,6 +66,9 @@ const (
 	recScenarioStarted   = "scenario.started"
 	recScenarioProgress  = "scenario.progress"
 	recScenarioSettled   = "scenario.settled"
+	recCampaignStarted   = "campaign.started"
+	recCampaignSeed      = "campaign.seed"
+	recCampaignSettled   = "campaign.settled"
 )
 
 type depCreatedRec struct {
@@ -141,6 +144,23 @@ type scenarioSettledRec struct {
 	Result  json.RawMessage `json:"result,omitempty"`
 }
 
+type campaignStartedRec struct {
+	ID      string            `json:"id"`
+	Spec    xcbc.CampaignSpec `json:"spec"`
+	Created time.Time         `json:"created"`
+}
+
+type campaignSeedRec struct {
+	ID      string                   `json:"id"`
+	Outcome xcbc.CampaignSeedOutcome `json:"outcome"`
+}
+
+type campaignSettledRec struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
 // depMirror is one deployment's persistent model.
 type depMirror struct {
 	Created depCreatedRec  `json:"created"`
@@ -168,19 +188,32 @@ type fleetMirror struct {
 	Runs        []*runMirror    `json:"runs,omitempty"`
 }
 
+// campaignMirror is one campaign's persistent model: the spec it started
+// with, every per-seed outcome journaled so far (in seed order), and its
+// terminal state once settled.
+type campaignMirror struct {
+	Started  campaignStartedRec         `json:"started"`
+	Outcomes []xcbc.CampaignSeedOutcome `json:"outcomes,omitempty"`
+	State    string                     `json:"state,omitempty"` // "" while running
+	Error    string                     `json:"error,omitempty"`
+}
+
 // mirror is the store's full persistent model; a snapshot is exactly its
 // JSON form.
 type mirror struct {
-	Deployments map[string]*depMirror   `json:"deployments"`
-	Fleets      map[string]*fleetMirror `json:"fleets"`
-	NextID      int                     `json:"next_id"`
-	NextFleetID int                     `json:"next_fleet_id"`
+	Deployments    map[string]*depMirror      `json:"deployments"`
+	Fleets         map[string]*fleetMirror    `json:"fleets"`
+	Campaigns      map[string]*campaignMirror `json:"campaigns,omitempty"`
+	NextID         int                        `json:"next_id"`
+	NextFleetID    int                        `json:"next_fleet_id"`
+	NextCampaignID int                        `json:"next_campaign_id,omitempty"`
 }
 
 func newMirror() *mirror {
 	return &mirror{
 		Deployments: make(map[string]*depMirror),
 		Fleets:      make(map[string]*fleetMirror),
+		Campaigns:   make(map[string]*campaignMirror),
 	}
 }
 
@@ -203,22 +236,29 @@ type store struct {
 
 // RecoveryReport summarizes what Open recovered from a data directory.
 type RecoveryReport struct {
-	DataDir          string        `json:"data_dir"`
-	SnapshotSeq      uint64        `json:"snapshot_seq"`
-	Records          int           `json:"records"` // WAL records applied after the snapshot
-	Repaired         bool          `json:"repaired"`
-	DroppedBytes     int64         `json:"dropped_bytes"`
-	Deployments      int           `json:"deployments"`
-	Rebuilt          int           `json:"rebuilt"`     // ready deployments rebuilt live
-	Archived         int           `json:"archived"`    // terminal deployments reloaded as records
-	Interrupted      int           `json:"interrupted"` // mid-build at crash, reconciled to failed
-	Resumed          int           `json:"resumed"`     // mid-build at crash, restarted
-	OpsReplayed      int           `json:"ops_replayed"`
-	Fleets           int           `json:"fleets"`
-	Runs             int           `json:"runs"`     // settled scenario runs restored
-	Replayed         int           `json:"replayed"` // in-flight runs replayed from seed
-	ReplayMismatches int           `json:"replay_mismatches"`
-	Elapsed          time.Duration `json:"elapsed"`
+	DataDir          string `json:"data_dir"`
+	SnapshotSeq      uint64 `json:"snapshot_seq"`
+	Records          int    `json:"records"` // WAL records applied after the snapshot
+	Repaired         bool   `json:"repaired"`
+	DroppedBytes     int64  `json:"dropped_bytes"`
+	Deployments      int    `json:"deployments"`
+	Rebuilt          int    `json:"rebuilt"`     // ready deployments rebuilt live
+	Archived         int    `json:"archived"`    // terminal deployments reloaded as records
+	Interrupted      int    `json:"interrupted"` // mid-build at crash, reconciled to failed
+	Resumed          int    `json:"resumed"`     // mid-build at crash, restarted
+	OpsReplayed      int    `json:"ops_replayed"`
+	Fleets           int    `json:"fleets"`
+	Runs             int    `json:"runs"`     // settled scenario runs restored
+	Replayed         int    `json:"replayed"` // in-flight runs replayed from seed
+	ReplayMismatches int    `json:"replay_mismatches"`
+
+	// Campaigns counts campaigns restored from the journal;
+	// CampaignsInterrupted is how many of them were in flight at the crash
+	// and now report their partial per-seed results as "interrupted".
+	Campaigns            int `json:"campaigns"`
+	CampaignsInterrupted int `json:"campaigns_interrupted"`
+
+	Elapsed time.Duration `json:"elapsed"`
 }
 
 // openStore opens (or creates) the WAL under cfg.DataDir, rebuilds the
@@ -262,6 +302,9 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 		}
 		if st.m.Fleets == nil {
 			st.m.Fleets = make(map[string]*fleetMirror)
+		}
+		if st.m.Campaigns == nil {
+			st.m.Campaigns = make(map[string]*campaignMirror)
 		}
 	}
 	for _, r := range rec.Records {
@@ -434,6 +477,31 @@ func (st *store) apply(typ string, data []byte) {
 		if run := st.findRun(r.FleetID, r.RunID); run != nil {
 			run.State, run.Error, run.Result = r.State, r.Error, r.Result
 		}
+	case recCampaignStarted:
+		var r campaignStartedRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		st.m.Campaigns[r.ID] = &campaignMirror{Started: r}
+		if n := numSuffix(r.ID); n > st.m.NextCampaignID {
+			st.m.NextCampaignID = n
+		}
+	case recCampaignSeed:
+		var r campaignSeedRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if c := st.m.Campaigns[r.ID]; c != nil {
+			c.Outcomes = append(c.Outcomes, r.Outcome)
+		}
+	case recCampaignSettled:
+		var r campaignSettledRec
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if c := st.m.Campaigns[r.ID]; c != nil {
+			c.State, c.Error = r.State, r.Error
+		}
 	}
 }
 
@@ -565,6 +633,19 @@ func (st *store) materialize(report *RecoveryReport) error {
 		cp.Runs = runs
 		fleets = append(fleets, cp)
 	}
+	nextCampaignID := st.m.NextCampaignID
+	campIDs := make([]string, 0, len(st.m.Campaigns))
+	for id := range st.m.Campaigns {
+		campIDs = append(campIDs, id)
+	}
+	sortByNum(campIDs)
+	camps := make([]campaignMirror, 0, len(campIDs))
+	for _, id := range campIDs {
+		c := st.m.Campaigns[id]
+		cp := *c
+		cp.Outcomes = append([]xcbc.CampaignSeedOutcome(nil), c.Outcomes...)
+		camps = append(camps, cp)
+	}
 	st.mu.Unlock()
 
 	report.Deployments = len(deps)
@@ -589,12 +670,22 @@ func (st *store) materialize(report *RecoveryReport) error {
 		s.mu.Unlock()
 	}
 
+	for _, m := range camps {
+		cr := st.recoverCampaign(m, report)
+		s.mu.Lock()
+		s.campaigns[cr.ID] = cr
+		s.mu.Unlock()
+	}
+
 	s.mu.Lock()
 	if nextID > s.nextID {
 		s.nextID = nextID
 	}
 	if nextFleetID > s.nextFleetID {
 		s.nextFleetID = nextFleetID
+	}
+	if nextCampaignID > s.nextCampaignID {
+		s.nextCampaignID = nextCampaignID
 	}
 	s.mu.Unlock()
 	return nil
