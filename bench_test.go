@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -803,6 +804,58 @@ func BenchmarkFleetProvision100(b *testing.B) {
 	}
 	b.ReportMetric(float64(ready), "clusters_ready")
 }
+
+// benchmarkFleetProvision provisions a fleet of the given size to fully
+// ready and reports bytes_per_cluster: the heap growth the fleet's live
+// state costs per member, measured across the deploy. The figure is what
+// bounds how many simulated clusters one control-plane process can hold.
+func benchmarkFleetProvision(b *testing.B, members int) {
+	var ready int
+	var perCluster float64
+	for i := 0; i < b.N; i++ {
+		// The forced-GC + ReadMemStats brackets measure retained memory;
+		// they scan a live heap proportional to fleet size, so they run
+		// outside the timer — only the provisioning work itself is timed
+		// (including any GC its own allocation triggers).
+		b.StopTimer()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		b.StartTimer()
+		f, err := sdk.NewFleet(sdk.FleetSpec{
+			Name: "bench", Members: members, Cluster: "littlefe", Nodes: 4,
+			Parallelism: 4, Workers: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		ready = f.Status().Ready
+		b.StopTimer()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		perCluster = float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(members)
+		runtime.KeepAlive(f)
+		b.StartTimer()
+	}
+	if ready != members {
+		b.Fatalf("ready = %d, want %d", ready, members)
+	}
+	b.ReportMetric(float64(ready), "clusters_ready")
+	b.ReportMetric(perCluster, "bytes_per_cluster")
+}
+
+// BenchmarkFleetProvision1000 is the campus-100 shape scaled 10x: the
+// scaling criterion is wall-clock within ~10x of the 100-cluster run, i.e.
+// per-cluster cost stays flat as the fleet grows.
+func BenchmarkFleetProvision1000(b *testing.B) { benchmarkFleetProvision(b, 1000) }
+
+// BenchmarkFleetProvision10000 drives the simulator core to a 10k-member
+// fleet in one process — the target scale for this control plane — and
+// records the retained memory per simulated cluster.
+func BenchmarkFleetProvision10000(b *testing.B) { benchmarkFleetProvision(b, 10000) }
 
 // BenchmarkScenarioChaosKickstart runs the chaos-kickstart built-in end to
 // end: seeded kickstart faults, provisioning with retries, a job flood,

@@ -40,6 +40,8 @@ func campaignCmd(args []string, stdout, stderr io.Writer) int {
 	shrinkBudget := fs.Int("shrink-budget", 0, "shrink evaluations per failure (0 = default)")
 	reproDir := fs.String("repro-dir", "", "write each failure's minimized repro script into this directory")
 	verbose := fs.Bool("v", false, "print every seed's outcome as it lands")
+	var prof profileFlags
+	prof.register(fs)
 	if err := fs.Parse(rest); err != nil {
 		return 2
 	}
@@ -61,6 +63,13 @@ func campaignCmd(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+
+	stopProf, perr := prof.start()
+	if perr != nil {
+		fmt.Fprintln(stderr, "clusterctl campaign run:", perr)
+		return 2
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -56,6 +56,8 @@ func fleetCmd(args []string, stdout, stderr io.Writer) int {
 		seed := fs.Int64("seed", 0, "override the scenario's RNG seed (0 = keep)")
 		tracePath := fs.String("trace", "", "write the JSONL trace to this file (\"-\" = stdout)")
 		verbose := fs.Bool("v", false, "print every trace event as it is reported")
+		var prof profileFlags
+		prof.register(fs)
 		// Accept the scenario before or after the flags: both
 		// `fleet run campus-100 -v` and `fleet run -v campus-100` work.
 		target := ""
@@ -80,8 +82,14 @@ func fleetCmd(args []string, stdout, stderr io.Writer) int {
 		if *seed != 0 {
 			sc.SetSeed(*seed)
 		}
+		stopProf, err := prof.start()
+		if err != nil {
+			fmt.Fprintln(stderr, "clusterctl fleet run:", err)
+			return 2
+		}
 		fmt.Fprintf(stdout, "running scenario %s: %d members, seed %d\n", sc.Name(), sc.Members(), sc.Seed())
 		res, err := xcbc.RunScenario(context.Background(), sc)
+		stopProf()
 		if err != nil {
 			fmt.Fprintln(stderr, "clusterctl fleet run:", err)
 			return 1

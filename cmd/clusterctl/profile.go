@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags is the -cpuprofile/-memprofile pair shared by the
+// simulator-heavy subcommands (`fleet run`, `campaign run`), so a slow
+// scenario or sweep can be profiled in place:
+//
+//	clusterctl fleet run campus-100 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+// register installs the flags on fs.
+func (p *profileFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. The stop function
+// must run before the process reports its result (defer it); it is safe to
+// call when no profiling was requested.
+func (p *profileFlags) start() (func(), error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clusterctl: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "clusterctl: -memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xcbc/pkg/xcbc"
+)
+
+// checkProfile asserts that path holds a non-empty pprof profile. Profiles
+// are gzip-compressed protobufs, so the gzip magic is a cheap validity
+// check that catches empty or truncated files.
+func checkProfile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("%s: %d bytes, not a gzip-compressed profile", path, len(data))
+	}
+}
+
+// scenarioFile writes a small generated scenario to disk and returns its
+// path — cheaper to run than any built-in, so the profiling plumbing can
+// be exercised without a 100-member fleet.
+func scenarioFile(t *testing.T, seed int64) string {
+	t.Helper()
+	data, err := xcbc.GenerateScenario(seed).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFleetRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	code, _, stderr := runFleet(t, "run", scenarioFile(t, 11),
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	checkProfile(t, cpu)
+	checkProfile(t, mem)
+}
+
+func TestFleetRunBadProfilePath(t *testing.T) {
+	code, _, stderr := runFleet(t, "run", scenarioFile(t, 11),
+		"-cpuprofile", filepath.Join(t.TempDir(), "missing", "cpu.out"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, stderr)
+	}
+}
+
+func TestCampaignRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	code, _, stderr := runCampaign(t, "run", "-seeds", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	checkProfile(t, cpu)
+	checkProfile(t, mem)
+}

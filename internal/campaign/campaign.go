@@ -254,14 +254,20 @@ func categories(violations []string) map[string]bool {
 // the crash/recover equivalence check through internal/wal. The returned
 // error is mechanical (cancellation) — violations are the first value.
 func checkScenario(ctx context.Context, spec Spec, sc *scenario.Scenario, withWAL bool) ([]string, error) {
+	// Both results die with this call, so their event buffers go back to
+	// the run pool — a sweep of thousands of seeds reuses a handful of
+	// buffers instead of growing one per run. CheckHook must not retain
+	// res.Events past its return.
 	first, err := scenario.Run(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	defer first.Release()
 	second, err := scenario.Run(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	defer second.Release()
 
 	var violations []string
 	violations = append(violations, first.Violations...)

@@ -71,6 +71,14 @@ type Node struct {
 	os        string // installed operating system, "" if bare metal
 	bootCount int
 	energyWh  float64 // accumulated energy, maintained by internal/power
+
+	// servicesShared/attrsShared mark the corresponding map as an alias of
+	// a post-install state shared by every node of the same appliance (see
+	// AdoptSystemState). A shared map is read-only; the first mutation
+	// copies it into a private map. Maps are also nil until first written —
+	// nil-map reads are free.
+	servicesShared bool
+	attrsShared    bool
 }
 
 // NewNode creates a powered-off, bare-metal node.
@@ -85,8 +93,73 @@ func NewNode(name string, role Role, cpu CPUModel, sockets, ramGB int) *Node {
 		Sockets:  sockets,
 		RAMGB:    ramGB,
 		packages: rpm.NewDB(),
-		services: make(map[string]bool),
-		attrs:    make(map[string]string),
+	}
+}
+
+// mutableServices returns the services map ready for writing: detached from
+// any shared state and created if nil. Callers must hold n.mu.
+func (n *Node) mutableServices() map[string]bool {
+	if n.servicesShared {
+		n.servicesShared = false
+		cp := make(map[string]bool, len(n.services))
+		for k, v := range n.services {
+			cp[k] = v
+		}
+		n.services = cp
+	} else if n.services == nil {
+		n.services = make(map[string]bool)
+	}
+	return n.services
+}
+
+// mutableAttrs is mutableServices for the attribute map.
+func (n *Node) mutableAttrs() map[string]string {
+	if n.attrsShared {
+		n.attrsShared = false
+		cp := make(map[string]string, len(n.attrs))
+		for k, v := range n.attrs {
+			cp[k] = v
+		}
+		n.attrs = cp
+	} else if n.attrs == nil {
+		n.attrs = make(map[string]string)
+	}
+	return n.attrs
+}
+
+// AdoptSystemState applies a post-install system state: services to mark
+// running and attributes to set. When the node has no services or attributes
+// yet (a kickstart lands on a wiped node), the maps are adopted by
+// reference, so every node of an appliance shares one instance until a
+// divergent mutation copies it — the adopted maps must never be written by
+// the caller afterwards. Non-empty existing state is merged into instead,
+// matching what replaying the actions one by one would produce.
+func (n *Node) AdoptSystemState(services map[string]bool, attrs map[string]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.services) == 0 {
+		if services != nil {
+			n.services = services
+			n.servicesShared = true
+		}
+	} else if len(services) > 0 {
+		dst := n.mutableServices()
+		for s, v := range services {
+			if v {
+				dst[s] = true
+			}
+		}
+	}
+	if len(n.attrs) == 0 {
+		if attrs != nil {
+			n.attrs = attrs
+			n.attrsShared = true
+		}
+	} else if len(attrs) > 0 {
+		dst := n.mutableAttrs()
+		for k, v := range attrs {
+			dst[k] = v
+		}
 	}
 }
 
@@ -191,7 +264,8 @@ func (n *Node) WipePackages() {
 	defer n.mu.Unlock()
 	n.packages = rpm.NewDB()
 	n.os = ""
-	n.services = make(map[string]bool)
+	n.services = nil
+	n.servicesShared = false
 }
 
 // OS returns the installed operating system name, "" for bare metal.
@@ -212,14 +286,20 @@ func (n *Node) SetOS(os string) {
 func (n *Node) StartService(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.services[name] = true
+	if n.services[name] {
+		return // already running; don't detach a shared map for a no-op
+	}
+	n.mutableServices()[name] = true
 }
 
 // StopService marks a service stopped.
 func (n *Node) StopService(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.services, name)
+	if !n.services[name] {
+		return
+	}
+	delete(n.mutableServices(), name)
 }
 
 // ServiceRunning reports whether a service is running.
@@ -245,7 +325,10 @@ func (n *Node) Services() []string {
 func (n *Node) SetAttr(key, value string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.attrs[key] = value
+	if v, ok := n.attrs[key]; ok && v == value {
+		return // unchanged; don't detach a shared map for a no-op
+	}
+	n.mutableAttrs()[key] = value
 }
 
 // Attr returns a host attribute.

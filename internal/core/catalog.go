@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"xcbc/internal/rpm"
 )
@@ -227,9 +228,26 @@ var catalogEntries = []entry{
 	{name: "zfs", version: "0.6.2-1.el6", category: CategoryRollPkg, summary: "ZFS on Linux (zfs-linux roll)", requires: []string{"spl"}},
 }
 
-// Catalog builds the complete XNIT package universe. Each call returns fresh
-// package objects; they are immutable once published to a repository.
+// catalogOnce guards the one-time build of the package universe. The
+// package objects are immutable by contract (mutation goes through Clone),
+// so every caller can share them; each Catalog call still hands out a fresh
+// slice so reordering or appending never aliases across callers.
+var (
+	catalogOnce sync.Once
+	catalogPkgs []*rpm.Package
+)
+
+// Catalog returns the complete XNIT package universe. The packages are
+// built once and shared — they are immutable once constructed; use Clone
+// before modifying one.
 func Catalog() []*rpm.Package {
+	catalogOnce.Do(func() { catalogPkgs = buildCatalog() })
+	out := make([]*rpm.Package, len(catalogPkgs))
+	copy(out, catalogPkgs)
+	return out
+}
+
+func buildCatalog() []*rpm.Package {
 	out := make([]*rpm.Package, 0, len(catalogEntries))
 	for _, e := range catalogEntries {
 		b := rpm.NewPackage(e.name, e.version, rpm.ArchX86_64).

@@ -145,8 +145,8 @@ func BuildXCBCContext(ctx context.Context, eng *sim.Engine, c *cluster.Cluster, 
 	if err != nil {
 		return nil, err
 	}
-	graph := rocks.DefaultGraph()
-	if err := rocks.AttachXSEDEFragments(graph, o.Scheduler); err != nil {
+	graph, err := xsedeGraph(o.Scheduler)
+	if err != nil {
 		return nil, err
 	}
 	o.emit(BuildEvent{Stage: "distribution",

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"xcbc/internal/cluster"
 	"xcbc/internal/core"
@@ -121,6 +122,18 @@ type Fleet struct {
 	journal *orchestrator.Journal
 	members []*Member
 
+	// Lock-free settle rollup: each member's watcher bumps exactly one of
+	// ready/failed/cancelled (plus quarantined for ready members) as the
+	// build settles. Once the three sum to len(members), Status can answer
+	// from these counters alone instead of scanning every member's job
+	// mutex — the scan is what 8+ builder workers and pollers contended on
+	// at 10k members. Until then Status falls back to the scan, so the
+	// counters only ever serve a fully settled fleet.
+	readyCount       atomic.Int64
+	failedCount      atomic.Int64
+	cancelledCount   atomic.Int64
+	quarantinedCount atomic.Int64
+
 	mu          sync.Mutex
 	provisioned bool
 
@@ -140,8 +153,11 @@ func New(spec Spec) (*Fleet, error) {
 	f := &Fleet{
 		spec: s,
 		orch: orchestrator.New(s.Workers),
-		// One lifecycle entry per member plus slack for fleet-level notes.
-		journal: orchestrator.NewJournal(2*s.Members + 16),
+		// One lifecycle entry per member plus slack for fleet-level notes,
+		// bounded so a 10k-member fleet retains a fixed-size ring (a durable
+		// store taps SetSink to keep the full history; the ring is a recent
+		// window with cursor-safe eviction via Since).
+		journal: orchestrator.NewJournal(aggregateJournalCap(s.Members)),
 	}
 	f.members = make([]*Member, s.Members)
 	for i := range f.members {
@@ -162,6 +178,19 @@ func New(spec Spec) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// maxAggregateJournalCap bounds the aggregate journal ring regardless of
+// fleet size: retained history stays O(1) per fleet while sequence numbers
+// keep counting, so readers detect the evicted gap through Journal.Since.
+const maxAggregateJournalCap = 4096
+
+func aggregateJournalCap(members int) int {
+	c := 2*members + 16
+	if c > maxAggregateJournalCap {
+		c = maxAggregateJournalCap
+	}
+	return c
 }
 
 // Spec returns the fleet's effective (defaulted) specification.
@@ -213,7 +242,8 @@ func (f *Fleet) Provision(ctx context.Context) error {
 	return nil
 }
 
-// watch appends one aggregate journal entry when a member's build settles.
+// watch appends one aggregate journal entry when a member's build settles
+// and folds the member into the lock-free settle rollup.
 func (f *Fleet) watch(m *Member) {
 	<-m.job.Done()
 	st := m.job.State()
@@ -223,8 +253,17 @@ func (f *Fleet) watch(m *Member) {
 		if len(d.Quarantined) > 0 {
 			msg += fmt.Sprintf(", %d quarantined", len(d.Quarantined))
 		}
+		f.quarantinedCount.Add(int64(len(d.Quarantined)))
 	} else if err := m.job.Err(); err != nil {
 		msg = fmt.Sprintf("%s: %v", st, err)
+	}
+	switch st {
+	case orchestrator.StateReady:
+		f.readyCount.Add(1)
+	case orchestrator.StateFailed:
+		f.failedCount.Add(1)
+	case orchestrator.StateCancelled:
+		f.cancelledCount.Add(1)
 	}
 	f.journal.Append(orchestrator.Event{Stage: "member", Node: m.ID, Message: msg})
 }
@@ -284,8 +323,21 @@ func (s Status) Settled() bool {
 }
 
 // Status counts members by state. Members not yet provisioned count as
-// pending.
+// pending. Once every member has settled, the answer comes from the
+// watchers' atomic rollup without touching any per-member lock.
 func (f *Fleet) Status() Status {
+	ready := f.readyCount.Load()
+	failed := f.failedCount.Load()
+	cancelled := f.cancelledCount.Load()
+	if int(ready+failed+cancelled) == len(f.members) {
+		return Status{
+			Members:     len(f.members),
+			Ready:       int(ready),
+			Failed:      int(failed),
+			Cancelled:   int(cancelled),
+			Quarantined: int(f.quarantinedCount.Load()),
+		}
+	}
 	st := Status{Members: len(f.members)}
 	for _, m := range f.members {
 		switch m.State() {

@@ -62,6 +62,24 @@ func (j *Journal) Append(ev Event) int {
 	defer j.mu.Unlock()
 	ev.Seq = j.next
 	if len(j.buf) < j.cap {
+		if len(j.buf) == cap(j.buf) {
+			// Grow the ring storage ourselves instead of letting append
+			// double past the configured capacity: append's doubling can
+			// strand a backing array up to 2x the ring cap (dead weight on
+			// every journal of every fleet member), while clamping the
+			// growth target to j.cap keeps worst-case memory exactly at
+			// the configured bound.
+			newCap := 2 * cap(j.buf)
+			if newCap < 16 {
+				newCap = 16
+			}
+			if newCap > j.cap {
+				newCap = j.cap
+			}
+			grown := make([]Event, len(j.buf), newCap)
+			copy(grown, j.buf)
+			j.buf = grown
+		}
 		j.buf = append(j.buf, ev)
 	} else {
 		j.buf[ev.Seq%j.cap] = ev

@@ -126,3 +126,37 @@ func TestJournalConcurrent(t *testing.T) {
 		t.Fatalf("total = %d, want 2000", j.Total())
 	}
 }
+
+// TestJournalBackingStaysCapped is the memory regression test for the ring
+// growth fix: append's natural doubling could strand a backing array up to
+// 2x the configured capacity (dead weight on every journal of every fleet
+// member). The ring must never allocate beyond its cap at any point during
+// growth — including odd caps that doubling would overshoot — and must keep
+// serving reads correctly once saturated.
+func TestJournalBackingStaysCapped(t *testing.T) {
+	for _, capacity := range []int{1, 2, 15, 16, 17, 100, 512, DefaultJournalCap} {
+		j := NewJournal(capacity)
+		for i := 0; i < 4*capacity+7; i++ {
+			j.Append(Event{Stage: "compute", Seq: -1, Message: "x"})
+			if got := cap(j.buf); got > capacity {
+				t.Fatalf("cap %d: backing array grew to %d after %d appends", capacity, got, i+1)
+			}
+			if got := len(j.buf); got > capacity {
+				t.Fatalf("cap %d: ring holds %d events after %d appends", capacity, got, i+1)
+			}
+		}
+		total := 4*capacity + 7
+		evs, next := j.Since(0)
+		if len(evs) != capacity || next != total {
+			t.Fatalf("cap %d: Since(0) = %d events, next %d; want %d, %d",
+				capacity, len(evs), next, capacity, total)
+		}
+		if evs[0].Seq != total-capacity || evs[len(evs)-1].Seq != total-1 {
+			t.Fatalf("cap %d: retained window [%d, %d], want [%d, %d]",
+				capacity, evs[0].Seq, evs[len(evs)-1].Seq, total-capacity, total-1)
+		}
+		if dropped := j.Dropped(); dropped != total-capacity {
+			t.Fatalf("cap %d: dropped = %d, want %d", capacity, dropped, total-capacity)
+		}
+	}
+}

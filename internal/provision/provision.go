@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"xcbc/internal/cluster"
@@ -63,7 +64,12 @@ type Installer struct {
 
 // NewInstaller binds a cluster, frontend DB, and kickstart graph.
 func NewInstaller(c *cluster.Cluster, db *rocks.FrontendDB, g *rocks.Graph, osName string) *Installer {
-	return &Installer{Cluster: c, DB: db, Graph: g, OSName: osName}
+	return &Installer{
+		Cluster: c, DB: db, Graph: g, OSName: osName,
+		// A full build logs ~2 lines per compute plus a few frontend lines;
+		// sizing the log up front avoids per-line slice doubling.
+		Log: make([]string, 0, 2*len(c.Computes)+8),
+	}
 }
 
 func (ins *Installer) logf(format string, args ...any) {
@@ -88,13 +94,16 @@ func (ins *Installer) InstallFrontend(eng *sim.Engine) (*Result, error) {
 	}
 	fe.SetPower(cluster.PowerOn)
 	start := eng.Now()
-	pkgs := ins.DB.Distribution().PackagesFor(rocks.ApplianceFrontend)
-	var tx rpm.Transaction
-	for _, p := range pkgs {
-		tx.Install(p)
+	// The distribution validates each appliance's package set once and every
+	// node adopts the shared result; re-running an identical install
+	// transaction per node dominated heap profiles at fleet scale.
+	set, err := ins.DB.Distribution().InstallSet(rocks.ApplianceFrontend)
+	if err != nil {
+		return nil, fmt.Errorf("provision: frontend package install: %w", err)
 	}
+	pkgs := set.Packages()
 	fe.WipePackages()
-	if err := tx.Run(fe.Packages()); err != nil {
+	if err := fe.Packages().AdoptSet(set); err != nil {
 		return nil, fmt.Errorf("provision: frontend package install: %w", err)
 	}
 	actions, err := ins.Graph.ActionsFor(string(rocks.ApplianceFrontend))
@@ -154,13 +163,13 @@ func (ins *Installer) kickstart(name string) (*pendingInstall, error) {
 		return nil, fmt.Errorf("%w: node %s", ErrDiskless, name)
 	}
 	node.SetPower(cluster.PowerOn)
-	pkgs := ins.DB.Distribution().PackagesFor(rocks.ApplianceCompute)
-	var tx rpm.Transaction
-	for _, p := range pkgs {
-		tx.Install(p)
+	set, err := ins.DB.Distribution().InstallSet(rocks.ApplianceCompute)
+	if err != nil {
+		return nil, fmt.Errorf("provision: %s package install: %w", name, err)
 	}
+	pkgs := set.Packages()
 	node.WipePackages()
-	if err := tx.Run(node.Packages()); err != nil {
+	if err := node.Packages().AdoptSet(set); err != nil {
 		return nil, fmt.Errorf("provision: %s package install: %w", name, err)
 	}
 	actions, err := ins.Graph.ActionsFor(string(rocks.ApplianceCompute))
@@ -241,16 +250,88 @@ func (ins *Installer) Reinstall(eng *sim.Engine, name string) (*Result, error) {
 	return ins.InstallCompute(eng, name)
 }
 
-// applyActions executes graph post-install actions against a node.
+// applyActions executes graph post-install actions against a node. Every
+// node of an appliance receives the identical action list (memoized by
+// Graph.ActionsFor), so the resulting service/attribute maps are built once
+// per list and adopted copy-on-write instead of re-parsed per node.
 func applyActions(n *cluster.Node, actions []string) {
+	services, attrs := systemStateFor(actions)
+	n.AdoptSystemState(services, attrs)
+}
+
+// postInstallState is the node system state one action list produces.
+// actions keeps the exact list both for collision verification and to pin
+// the backing array alive so the pointer key stays unambiguous.
+type postInstallState struct {
+	actions  []string
+	services map[string]bool
+	attrs    map[string]string
+}
+
+type actionsKey struct {
+	first *string
+	n     int
+}
+
+var postStates sync.Map // actionsKey -> *postInstallState
+
+// systemStateFor returns the shared services/attrs maps for an action list,
+// building them on first sight. The key is the list's identity (first
+// element address + length) — stable for the memoized slices ActionsFor
+// hands out — verified element-by-element on every hit.
+func systemStateFor(actions []string) (map[string]bool, map[string]string) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	key := actionsKey{first: &actions[0], n: len(actions)}
+	if v, ok := postStates.Load(key); ok {
+		st := v.(*postInstallState)
+		if sameActions(st.actions, actions) {
+			return st.services, st.attrs
+		}
+		services, attrs := buildSystemState(actions)
+		return services, attrs // key collision: serve uncached
+	}
+	services, attrs := buildSystemState(actions)
+	st := &postInstallState{actions: actions, services: services, attrs: attrs}
+	if v, loaded := postStates.LoadOrStore(key, st); loaded {
+		if st2 := v.(*postInstallState); sameActions(st2.actions, actions) {
+			return st2.services, st2.attrs
+		}
+	}
+	return st.services, st.attrs
+}
+
+func sameActions(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildSystemState(actions []string) (map[string]bool, map[string]string) {
+	var services map[string]bool
+	var attrs map[string]string
 	for _, a := range actions {
 		switch {
 		case strings.HasPrefix(a, "enable-service:"):
-			n.StartService(strings.TrimPrefix(a, "enable-service:"))
+			if services == nil {
+				services = make(map[string]bool)
+			}
+			services[strings.TrimPrefix(a, "enable-service:")] = true
 		case strings.HasPrefix(a, "mkdir:"):
-			n.SetAttr("dir:"+strings.TrimPrefix(a, "mkdir:"), "present")
+			if attrs == nil {
+				attrs = make(map[string]string)
+			}
+			attrs["dir:"+strings.TrimPrefix(a, "mkdir:")] = "present"
 		}
 	}
+	return services, attrs
 }
 
 // VendorProvision models what the Limulus ships with: vendor tooling that

@@ -71,7 +71,8 @@ func (db *FrontendDB) AddHost(name string, app Appliance, rack, rank int, mac st
 		Rank:      rank,
 		MAC:       mac,
 		IP:        fmt.Sprintf("10.1.1.%d", db.nextIP),
-		Attrs:     make(map[string]string),
+		// Attrs stays nil until the first SetHostAttr; most hosts never
+		// get a per-host attribute and nil-map reads are free.
 	}
 	db.nextIP++
 	db.hosts[name] = rec
@@ -163,6 +164,9 @@ func (db *FrontendDB) SetHostAttr(host, key, value string) error {
 	rec, ok := db.hosts[host]
 	if !ok {
 		return fmt.Errorf("rocks: host %s not in database", host)
+	}
+	if rec.Attrs == nil {
+		rec.Attrs = make(map[string]string)
 	}
 	rec.Attrs[key] = value
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ErrCycle is wrapped in errors returned when the kickstart include-graph
@@ -29,6 +30,12 @@ type GraphNode struct {
 type Graph struct {
 	nodes map[string]*GraphNode
 	edges map[string][]string // from -> to (from includes to)
+
+	// mu guards actions, the memoized ActionsFor results. Every node of a
+	// fleet asks for the same appliance roots, so the flatten runs once per
+	// root; any AddNode/AddEdge resets the memo.
+	mu      sync.Mutex
+	actions map[string][]string
 }
 
 // NewGraph returns an empty kickstart graph.
@@ -41,12 +48,22 @@ func NewGraph() *Graph {
 
 // AddNode registers a fragment, replacing any previous definition (rolls may
 // override base fragments).
-func (g *Graph) AddNode(n *GraphNode) { g.nodes[n.Name] = n }
+func (g *Graph) AddNode(n *GraphNode) {
+	g.nodes[n.Name] = n
+	g.resetMemo()
+}
 
 // AddEdge declares that fragment `from` includes fragment `to`. Both ends
 // must exist by traversal time but may be added in any order.
 func (g *Graph) AddEdge(from, to string) {
 	g.edges[from] = append(g.edges[from], to)
+	g.resetMemo()
+}
+
+func (g *Graph) resetMemo() {
+	g.mu.Lock()
+	g.actions = nil
+	g.mu.Unlock()
 }
 
 // Node returns a fragment by name.
@@ -89,8 +106,16 @@ func (g *Graph) Closure(root string) ([]*GraphNode, error) {
 	return out, nil
 }
 
-// ActionsFor returns the ordered post-install actions for an appliance root.
+// ActionsFor returns the ordered post-install actions for an appliance
+// root. The result is memoized until the graph next changes and shared
+// between callers: treat it as read-only.
 func (g *Graph) ActionsFor(root string) ([]string, error) {
+	g.mu.Lock()
+	if cached, ok := g.actions[root]; ok {
+		g.mu.Unlock()
+		return cached, nil
+	}
+	g.mu.Unlock()
 	nodes, err := g.Closure(root)
 	if err != nil {
 		return nil, err
@@ -99,6 +124,12 @@ func (g *Graph) ActionsFor(root string) ([]string, error) {
 	for _, n := range nodes {
 		actions = append(actions, n.Actions...)
 	}
+	g.mu.Lock()
+	if g.actions == nil {
+		g.actions = make(map[string][]string)
+	}
+	g.actions[root] = actions
+	g.mu.Unlock()
 	return actions, nil
 }
 

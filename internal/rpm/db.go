@@ -17,14 +17,29 @@ type DB struct {
 	provides  map[string][]*Package // capability name -> providers, sorted
 	files     map[string]string     // file path -> owning package NEVRA
 	installed []*Package            // lazy sorted cache for Installed; nil when stale
+
+	// shared marks the maps as aliases of an adopted InstallSet's indexes,
+	// read by every node that adopted the same set. They are copied into
+	// private maps on the first mutation (detach); until then this DB must
+	// never write to them.
+	shared bool
 }
 
-// NewDB returns an empty installed-package database.
+// NewDB returns an empty installed-package database. The index maps are
+// created on first mutation: a fleet node's DB usually adopts an
+// InstallSet wholesale (replacing the maps anyway) or stays empty, and
+// reads of nil maps are free.
 func NewDB() *DB {
-	return &DB{
-		byName:   make(map[string][]*Package),
-		provides: make(map[string][]*Package),
-		files:    make(map[string]string),
+	return &DB{}
+}
+
+// ensure creates the index maps for a DB about to take its first direct
+// mutation.
+func (db *DB) ensure() {
+	if db.byName == nil {
+		db.byName = make(map[string][]*Package)
+		db.provides = make(map[string][]*Package)
+		db.files = make(map[string]string)
 	}
 }
 
@@ -118,8 +133,37 @@ func (db *DB) UnmetRequires() []Capability {
 	return unmet
 }
 
+// detach gives a DB adopted from a shared InstallSet private index maps,
+// so a mutation cannot corrupt the set every other adopter reads. Only
+// the map headers and entries are copied — the per-name slices stay
+// capacity-capped views of the set's arena, and appends to them
+// copy-on-write as usual.
+func (db *DB) detach() {
+	if !db.shared {
+		return
+	}
+	db.shared = false
+	byName := make(map[string][]*Package, len(db.byName))
+	for name, ps := range db.byName {
+		byName[name] = ps
+	}
+	db.byName = byName
+	provides := make(map[string][]*Package, len(db.provides))
+	for name, ps := range db.provides {
+		provides[name] = ps
+	}
+	db.provides = provides
+	files := make(map[string]string, len(db.files))
+	for f, o := range db.files {
+		files[f] = o
+	}
+	db.files = files
+}
+
 // add installs a package record without any checking. Used by Transaction.
 func (db *DB) add(p *Package) error {
+	db.detach()
+	db.ensure()
 	for _, q := range db.byName[p.Name] {
 		if q.EVR.Compare(p.EVR) == 0 && q.Arch == p.Arch {
 			return fmt.Errorf("rpm: %s is already installed", p.NEVRA())
@@ -143,6 +187,7 @@ func (db *DB) add(p *Package) error {
 
 // remove erases a package record. Used by Transaction.
 func (db *DB) remove(p *Package) error {
+	db.detach()
 	ps := db.byName[p.Name]
 	for i, q := range ps {
 		if q.EVR.Compare(p.EVR) == 0 && q.Arch == p.Arch {
@@ -169,7 +214,11 @@ func (db *DB) remove(p *Package) error {
 // Clone returns a deep copy of the database. Package pointers are shared
 // (packages are immutable once published).
 func (db *DB) Clone() *DB {
-	out := NewDB()
+	out := &DB{
+		byName:   make(map[string][]*Package, len(db.byName)),
+		provides: make(map[string][]*Package, len(db.provides)),
+		files:    make(map[string]string, len(db.files)),
+	}
 	for name, ps := range db.byName {
 		out.byName[name] = append([]*Package(nil), ps...)
 	}

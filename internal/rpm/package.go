@@ -162,10 +162,19 @@ type Package struct {
 	Conflicts []Capability
 	Obsoletes []Capability
 	Files     []string
+
+	// nevra caches the rendered identity. Builder.Build populates it (and
+	// Clone's struct copy carries it along); packages constructed as bare
+	// literals leave it empty and NEVRA falls back to formatting on the
+	// fly without storing, so the method stays safe for concurrent use.
+	nevra string
 }
 
 // NEVRA renders the full package identity, e.g. "openmpi-1.6.4-3.el6.x86_64".
 func (p *Package) NEVRA() string {
+	if p.nevra != "" {
+		return p.nevra
+	}
 	return fmt.Sprintf("%s-%s.%s", p.Name, p.EVR, p.Arch)
 }
 
@@ -321,6 +330,7 @@ func (b *Builder) Files(paths ...string) *Builder {
 // Build finalizes the package.
 func (b *Builder) Build() *Package {
 	p := b.p
+	p.nevra = fmt.Sprintf("%s-%s.%s", p.Name, p.EVR, p.Arch)
 	return &p
 }
 

@@ -139,6 +139,12 @@ func (t *Transaction) Check(db *DB) []error {
 	installed := after.Installed()
 	for i := 0; i < len(installed); i++ {
 		for j := i + 1; j < len(installed); j++ {
+			// Two packages that both declare no conflicts cannot match each
+			// other; skipping the pair keeps this scan cheap on the common
+			// catalog where conflicts are rare.
+			if len(installed[i].Conflicts) == 0 && len(installed[j].Conflicts) == 0 {
+				continue
+			}
 			if installed[i].ConflictsWith(installed[j]) {
 				problems = append(problems, fmt.Errorf("rpm: %s conflicts with %s",
 					installed[i].NEVRA(), installed[j].NEVRA()))

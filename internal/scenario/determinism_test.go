@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genCorpusSeeds is the number of generated scenarios pinned by the digest
+// corpus. 64 seeds cover every grammar production many times over (the
+// generator's middle-phase deck has 9 cards) without committing 64 golden
+// files: only the SHA-256 of each trace is stored.
+const genCorpusSeeds = 64
+
+// corpus returns the full determinism corpus: every builtin plus the first
+// genCorpusSeeds generated scenarios, keyed for the digest file.
+func corpus() []struct {
+	key string
+	sc  func() *Scenario
+} {
+	var out []struct {
+		key string
+		sc  func() *Scenario
+	}
+	for _, name := range Builtins() {
+		name := name
+		out = append(out, struct {
+			key string
+			sc  func() *Scenario
+		}{"builtin/" + name, func() *Scenario { return Builtin(name) }})
+	}
+	for seed := int64(0); seed < genCorpusSeeds; seed++ {
+		seed := seed
+		out = append(out, struct {
+			key string
+			sc  func() *Scenario
+		}{fmt.Sprintf("gen/%02d", seed), func() *Scenario { return Generate(seed) }})
+	}
+	return out
+}
+
+// TestTraceDigestCorpus pins the trace of every builtin and 64 generated
+// scenarios. Each entry runs twice — the two traces must be byte-identical
+// (in-process determinism) — and the trace's SHA-256 must match the
+// committed digest (cross-change determinism). A digest mismatch means the
+// simulation's observable behaviour moved; if that is intentional, rerun
+// with -update and review the diff of testdata/trace-digests.txt.
+func TestTraceDigestCorpus(t *testing.T) {
+	digestPath := filepath.Join("testdata", "trace-digests.txt")
+	want := map[string]string{}
+	if !*update {
+		data, err := os.ReadFile(digestPath)
+		if err != nil {
+			t.Fatalf("missing digest file (run with -update to create): %v", err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed digest line %q", line)
+			}
+			want[fields[0]] = fields[1]
+		}
+	}
+
+	var lines []string
+	for _, entry := range corpus() {
+		entry := entry
+		t.Run(entry.key, func(t *testing.T) {
+			first, err := Run(context.Background(), entry.sc())
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(context.Background(), entry.sc())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := first.TraceJSONL(), second.TraceJSONL()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed, diverging traces:\n%s", firstDiff(a, b))
+			}
+			got := fmt.Sprintf("%x", sha256.Sum256(a))
+			if *update {
+				lines = append(lines, entry.key+" "+got)
+				return
+			}
+			wantHex, ok := want[entry.key]
+			if !ok {
+				t.Fatalf("no committed digest for %s (rerun with -update)", entry.key)
+			}
+			if got != wantHex {
+				t.Errorf("trace digest = %s, want %s — behaviour changed; rerun with -update if intended", got, wantHex)
+			}
+		})
+	}
+	if *update {
+		if err := os.WriteFile(digestPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if len(want) != len(corpus()) {
+		t.Errorf("digest file has %d entries, corpus has %d — stale file? rerun with -update", len(want), len(corpus()))
+	}
+}

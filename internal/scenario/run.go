@@ -92,10 +92,11 @@ func RunOnObserved(ctx context.Context, fl *fleet.Fleet, sc *Scenario, obs Obser
 	r := &runner{
 		sc:        sc,
 		fl:        fl,
+		members:   fl.Members(),
 		obs:       obs,
 		submitted: make([]int, fl.Len()),
 		baseline:  make([]int, fl.Len()),
-		res:       &Result{Scenario: sc.Name, Seed: sc.Seed},
+		res:       &Result{Scenario: sc.Name, Seed: sc.Seed, Events: newEventBuf()},
 	}
 	for i := range r.baseline {
 		r.baseline[i] = -1
@@ -108,6 +109,7 @@ func RunOnObserved(ctx context.Context, fl *fleet.Fleet, sc *Scenario, obs Obser
 type runner struct {
 	sc        *Scenario
 	fl        *fleet.Fleet
+	members   []*fleet.Member // snapshot of fl.Members(), fixed for the run
 	obs       Observer
 	res       *Result
 	submitted []int // jobs submitted by THIS run, per member index
@@ -188,7 +190,7 @@ func (r *runner) provision(ctx context.Context, phase int) error {
 	if err := r.fl.Wait(ctx); err != nil && ctx.Err() != nil {
 		return ctx.Err()
 	}
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		switch m.State() {
 		case orchestrator.StateReady:
 			d, _ := m.Deployment()
@@ -215,7 +217,7 @@ func (r *runner) fault(phase int, p *Phase) error {
 	switch p.Fault {
 	case FaultKickstart:
 		seed, prob := r.sc.Seed, p.Probability
-		for _, m := range r.fl.Members() {
+		for _, m := range r.members {
 			member := m.ID
 			m.SetInstallHook(func(node string, attempt int) error {
 				if rollKickstart(seed, member, node, attempt) < prob {
@@ -227,7 +229,7 @@ func (r *runner) fault(phase int, p *Phase) error {
 		r.emit(phase, "fault.kickstart", "", "",
 			fmt.Sprintf("armed probability=%.3f members=%d", prob, r.fl.Len()))
 	case FaultQuarantine:
-		for _, m := range r.fl.Members() {
+		for _, m := range r.members {
 			ops := r.readyOps(m)
 			if ops == nil {
 				continue
@@ -255,7 +257,7 @@ func (r *runner) fault(phase int, p *Phase) error {
 			}
 		}
 	case FaultRepoOutage:
-		for _, m := range r.fl.Members() {
+		for _, m := range r.members {
 			ops := r.readyOps(m)
 			if ops == nil {
 				continue
@@ -276,7 +278,7 @@ func (r *runner) fault(phase int, p *Phase) error {
 		if maxCores < 1 {
 			maxCores = 1
 		}
-		for _, m := range r.fl.Members() {
+		for _, m := range r.members {
 			ops := r.readyOps(m)
 			if ops == nil {
 				continue
@@ -319,7 +321,7 @@ func (r *runner) jobs(phase int, p *Phase) error {
 	if walltime == 0 {
 		walltime = 2 * runtime
 	}
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		ops := r.readyOps(m)
 		if ops == nil {
 			continue
@@ -347,7 +349,7 @@ func (r *runner) jobs(phase int, p *Phase) error {
 }
 
 func (r *runner) cancelJobs(phase int, p *Phase) error {
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		ops := r.readyOps(m)
 		if ops == nil {
 			continue
@@ -378,7 +380,7 @@ func (r *runner) cancelJobs(phase int, p *Phase) error {
 
 func (r *runner) advance(phase int, p *Phase) {
 	d := time.Duration(p.Duration)
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		ops := r.readyOps(m)
 		if ops == nil {
 			continue
@@ -389,7 +391,7 @@ func (r *runner) advance(phase int, p *Phase) {
 }
 
 func (r *runner) metrics(phase int) {
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		ops := r.readyOps(m)
 		if ops == nil {
 			continue
@@ -424,7 +426,7 @@ func (r *runner) rollout(phase int, p *Phase) error {
 	case "security-only":
 		policy = depsolve.PolicySecurityOnly
 	}
-	members := r.fl.Members()
+	members := r.members
 	width := p.Wave
 	if width <= 0 {
 		width = len(members)
@@ -478,7 +480,7 @@ func (r *runner) assert(phase int, p *Phase) {
 				total, st.Quarantined, r.failed, inv.Limit)
 		case InvJobsConserved:
 			lost := 0
-			for _, m := range r.fl.Members() {
+			for _, m := range r.members {
 				ops := r.readyOps(m)
 				if ops == nil {
 					continue
@@ -513,7 +515,7 @@ func (r *runner) finish() {
 		JobsCancelled:    r.cancelled,
 		UpdatesApplied:   r.applied,
 	}
-	for _, m := range r.fl.Members() {
+	for _, m := range r.members {
 		stats.JobsSubmitted += r.submitted[m.Index]
 		if ops := r.readyOps(m); ops != nil {
 			if now := ops.Now().Duration(); now > stats.SimulatedEnd {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"sync"
 	"time"
 )
 
@@ -42,18 +43,49 @@ type Result struct {
 }
 
 // TraceJSONL renders the event trace as JSON lines, one event per line —
-// the machine-readable artifact golden tests compare byte-for-byte.
+// the machine-readable artifact golden tests compare byte-for-byte. One
+// encoder streams every event into one buffer: json.Encoder writes the
+// exact Marshal encoding followed by '\n', so the output stays
+// byte-identical to the historical per-event Marshal loop while reusing
+// the encoder's internal state across events instead of allocating a line
+// per event.
 func (r *Result) TraceJSONL() []byte {
 	var buf bytes.Buffer
-	for _, ev := range r.Events {
-		line, err := json.Marshal(ev)
-		if err != nil {
-			// Event contains only plain strings and ints; Marshal cannot
-			// fail. Keep the trace well-formed regardless.
-			continue
-		}
-		buf.Write(line)
-		buf.WriteByte('\n')
+	buf.Grow(64 * len(r.Events))
+	enc := json.NewEncoder(&buf)
+	for i := range r.Events {
+		// Event contains only plain strings and ints; Encode cannot fail.
+		// Keep the trace well-formed regardless.
+		_ = enc.Encode(&r.Events[i])
 	}
 	return buf.Bytes()
+}
+
+// eventBufPool recycles trace event buffers across runs. A campaign sweeps
+// thousands of short scenarios; without pooling, every run grows a fresh
+// Events slice just to discard it after the metamorphic checks.
+var eventBufPool = sync.Pool{
+	New: func() any {
+		s := make([]Event, 0, 256)
+		return &s
+	},
+}
+
+// newEventBuf returns an empty event buffer, reusing pooled backing
+// storage when available.
+func newEventBuf() []Event {
+	return (*eventBufPool.Get().(*[]Event))[:0]
+}
+
+// Release returns the result's event buffer to the run pool and clears
+// Events. Call it only when done with the result AND every slice derived
+// from Events; results that outlive the caller (e.g. served by an API
+// registry) should simply never be released. Release is idempotent.
+func (r *Result) Release() {
+	if r.Events == nil {
+		return
+	}
+	evs := r.Events[:0]
+	r.Events = nil
+	eventBufPool.Put(&evs)
 }

@@ -103,9 +103,10 @@ type Engine struct {
 // ever scheduled.
 const maxFree = 1024
 
-// NewEngine returns an engine with the clock at zero and the event queue
-// preallocated.
-func NewEngine() *Engine { return &Engine{queue: make(eventQueue, 0, 64)} }
+// NewEngine returns an idle engine at time zero. The event queue starts
+// small — a fleet spins up one engine per member and most builds keep only
+// a handful of events in flight; heavy scenarios grow it amortized.
+func NewEngine() *Engine { return &Engine{queue: make(eventQueue, 0, 8)} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }

@@ -237,6 +237,72 @@ func (l *Log) Append(typ string, data []byte) (uint64, error) {
 	return seq, nil
 }
 
+// BatchEntry is one record of an AppendBatch group commit.
+type BatchEntry struct {
+	Type string
+	Data []byte
+}
+
+// AppendBatch writes n typed records as one group commit: every record is
+// framed into a single buffer, written with one file write, and counted
+// against the fsync batching threshold together, amortizing frame and
+// syscall cost over the group. Records receive consecutive sequence
+// numbers; the first is returned. The durability contract is unchanged —
+// the group is on disk once Sync returns or once SyncEvery forces a flush
+// — and each record keeps its own length/CRC frame, so crash recovery
+// sees exactly the prefix of records whose bytes made it to disk, same as
+// with per-record Append.
+func (l *Log) AppendBatch(entries []BatchEntry) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(entries) == 0 {
+		return l.nextSeq, nil
+	}
+	for _, e := range entries {
+		if len(e.Type) > 0xFFFF {
+			return 0, fmt.Errorf("%w: type tag %d bytes", ErrTooLarge, len(e.Type))
+		}
+		if payloadLen := 8 + 2 + len(e.Type) + len(e.Data); payloadLen > maxPayload {
+			return 0, fmt.Errorf("%w: payload %d bytes (max %d)", ErrTooLarge, payloadLen, maxPayload)
+		}
+	}
+	first := l.nextSeq
+	l.buf.Reset()
+	for _, e := range entries {
+		payloadLen := 8 + 2 + len(e.Type) + len(e.Data)
+		start := l.buf.Len()
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+		l.buf.Write(hdr[0:4])
+		l.buf.Write(hdr[4:8]) // CRC placeholder, patched below
+		var p [10]byte
+		binary.LittleEndian.PutUint64(p[0:8], l.nextSeq)
+		binary.LittleEndian.PutUint16(p[8:10], uint16(len(e.Type)))
+		l.buf.Write(p[:])
+		l.buf.WriteString(e.Type)
+		l.buf.Write(e.Data)
+		frame := l.buf.Bytes()[start:]
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(frame[8:], castagnoli))
+		l.nextSeq++
+	}
+	if _, err := l.f.Write(l.buf.Bytes()); err != nil {
+		// The write may have landed partially; recovery's torn-tail repair
+		// handles that exactly as it does for a torn single-record append.
+		l.nextSeq = first
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.pending += len(entries)
+	if l.pending >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
 // AppendJSON marshals v and appends it under typ.
 func (l *Log) AppendJSON(typ string, v any) (uint64, error) {
 	data, err := json.Marshal(v)

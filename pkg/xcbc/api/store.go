@@ -232,6 +232,31 @@ type store struct {
 	mu    sync.Mutex
 	m     *mirror
 	dirty int // records appended since the last snapshot
+
+	// queue holds coalesced hot records (scenario progress, fleet member
+	// events, campaign seed outcomes) already applied to the mirror but not
+	// yet written to the WAL. It is flushed as one group commit — a single
+	// AppendBatch write — when it reaches groupCommitAt entries, before any
+	// non-coalesced record is appended, before every snapshot, and on
+	// close, so log order always equals mirror order. A hard crash can lose
+	// the queued tail, which is the same durability window fsync batching
+	// already allows: recovery then sees a shorter verified prefix, never a
+	// reordered or corrupted one.
+	queue []wal.BatchEntry
+}
+
+// groupCommitAt is how many coalesced hot records may queue before the
+// store flushes them as one WAL batch write.
+const groupCommitAt = 64
+
+// coalesced reports whether a record type is high-frequency enough to ride
+// the group-commit queue rather than paying a WAL write per record.
+func coalesced(typ string) bool {
+	switch typ {
+	case recScenarioProgress, recFleetMember, recCampaignSeed:
+		return true
+	}
+	return false
 }
 
 // RecoveryReport summarizes what Open recovered from a data directory.
@@ -324,18 +349,40 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	return st, report, nil
 }
 
-// close stops the store's watchers, flushes the WAL, and closes it. Safe
-// to call once; appends arriving afterwards are dropped (ErrClosed).
+// close stops the store's watchers, flushes any queued group commit and
+// the WAL, and closes it. Safe to call once; appends arriving afterwards
+// are dropped (ErrClosed).
 func (st *store) close() error {
 	st.cancel()
 	st.wg.Wait()
+	st.mu.Lock()
+	if err := st.flushLocked(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		st.logf("store: flush on close: %v", err)
+	}
+	st.mu.Unlock()
 	return st.log.Close()
 }
 
-// emit appends one record to the WAL and applies it to the mirror, in one
-// critical section so mirror order always matches log order, then takes a
-// snapshot if the cadence says one is due. Append failures after close
-// are expected during shutdown and ignored; anything else is logged.
+// flushLocked writes every queued hot record to the WAL as one group
+// commit. The queue is consumed whether or not the write succeeds — the
+// records are already in the mirror, and a failed batch is the same lost
+// tail a failed single append always was. Callers hold st.mu.
+func (st *store) flushLocked() error {
+	if len(st.queue) == 0 {
+		return nil
+	}
+	_, err := st.log.AppendBatch(st.queue)
+	st.dirty += len(st.queue)
+	st.queue = st.queue[:0]
+	return err
+}
+
+// emit applies one record to the mirror and persists it, in one critical
+// section so mirror order always matches log order, then takes a snapshot
+// if the cadence says one is due. Hot record types ride the group-commit
+// queue; everything else flushes the queue and appends directly, keeping
+// the on-disk order identical to the apply order. Append failures after
+// close are expected during shutdown and ignored; anything else is logged.
 func (st *store) emit(typ string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
@@ -344,15 +391,30 @@ func (st *store) emit(typ string, payload any) {
 	}
 	st.mu.Lock()
 	st.apply(typ, data)
-	_, err = st.log.Append(typ, data)
-	st.dirty++
+	if coalesced(typ) {
+		// The queued entry must own its bytes: data escapes this call.
+		st.queue = append(st.queue, wal.BatchEntry{Type: typ, Data: data})
+		if len(st.queue) >= groupCommitAt {
+			err = st.flushLocked()
+		}
+	} else {
+		if err = st.flushLocked(); err == nil || errors.Is(err, wal.ErrClosed) {
+			_, err = st.log.Append(typ, data)
+			st.dirty++
+		}
+	}
 	due := st.dirty >= st.snapEvery
 	if due && err == nil {
-		if state, merr := json.Marshal(st.m); merr == nil {
-			if serr := st.log.Snapshot(state); serr == nil {
-				st.dirty = 0
-			} else if !errors.Is(serr, wal.ErrClosed) {
-				st.logf("store: snapshot: %v", serr)
+		// A snapshot must capture only logged records: flush first, or
+		// recovery would re-apply the queued tail on top of a mirror image
+		// that already contains it.
+		if ferr := st.flushLocked(); ferr == nil {
+			if state, merr := json.Marshal(st.m); merr == nil {
+				if serr := st.log.Snapshot(state); serr == nil {
+					st.dirty = 0
+				} else if !errors.Is(serr, wal.ErrClosed) {
+					st.logf("store: snapshot: %v", serr)
+				}
 			}
 		}
 	}
