@@ -1,0 +1,16 @@
+package main
+
+import "xcbc/internal/analysis"
+
+// Analyzers is the detlint suite: exactly the five passes that prove the
+// determinism and durability invariants. The meta-test pins this list —
+// adding a sixth analyzer is a deliberate act, not a drive-by.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analysis.Detclock,
+		analysis.Detrand,
+		analysis.Maporder,
+		analysis.Errdrop,
+		analysis.Lockcopy,
+	}
+}

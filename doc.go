@@ -13,4 +13,10 @@
 // contribution itself lives in internal/core; binaries reach it only
 // through pkg/xcbc. The bench harness in bench_test.go regenerates each
 // table and figure; cmd/tables prints them.
+//
+// The determinism and durability invariants (no wall clock or ambient
+// randomness on the trace path, stable iteration order, no dropped WAL
+// errors) are enforced at build time by cmd/detlint, a go vet -vettool
+// multichecker built on internal/analysis; see DESIGN.md, "Static
+// analysis: the determinism contract".
 package xcbc

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestDeterministicSetClosure enforces the contract that detset.go is a
+// complete inventory: every package in the module that imports
+// internal/sim or internal/scenario — the trace-producing core — must be
+// accounted for in exactly one of the tables (Deterministic, Exempt, or
+// OrderSensitiveExtras). A new package touching the simulator either joins
+// the deterministic set or records a written reason why not; silence is a
+// test failure.
+func TestDeterministicSetClosure(t *testing.T) {
+	type listed struct {
+		ImportPath string
+		Imports    []string
+	}
+	cmd := exec.Command("go", "list", "-json=ImportPath,Imports", "./...")
+	cmd.Dir = "../.." // module root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list ./...: %v\n%s", err, stderr.String())
+	}
+
+	tracked := make(map[string]string) // import path -> table
+	for _, p := range Deterministic {
+		tracked[p] = "Deterministic"
+	}
+	for p := range Exempt {
+		if _, dup := tracked[p]; dup {
+			t.Errorf("%s is in both Deterministic and Exempt", p)
+		}
+		tracked[p] = "Exempt"
+	}
+	for _, p := range OrderSensitiveExtras {
+		if _, dup := tracked[p]; dup {
+			t.Errorf("%s is in OrderSensitiveExtras but already in %s", p, tracked[p])
+		}
+		tracked[p] = "OrderSensitiveExtras"
+	}
+
+	exists := make(map[string]bool)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listed
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		exists[p.ImportPath] = true
+		importsCore := false
+		for _, imp := range p.Imports {
+			if imp == "xcbc/internal/sim" || imp == "xcbc/internal/scenario" {
+				importsCore = true
+				break
+			}
+		}
+		if importsCore && tracked[p.ImportPath] == "" {
+			t.Errorf("package %s imports internal/sim or internal/scenario but is missing from detset.go; add it to Deterministic, or to Exempt with a written reason", p.ImportPath)
+		}
+	}
+
+	// The other direction: every tracked entry must still exist, so
+	// renames and deletions cannot leave stale waivers behind.
+	for p, table := range tracked {
+		if !exists[p] {
+			t.Errorf("detset.go lists %s in %s but no such package exists in the module", p, table)
+		}
+	}
+
+	// Exemption is a reviewed decision; the reason is part of the data.
+	for p, reason := range Exempt {
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("Exempt[%q] has no written reason", p)
+		}
+	}
+}
+
+func TestCanonicalImportPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"xcbc/internal/sim":                          "xcbc/internal/sim",
+		"xcbc/internal/sim [xcbc/internal/sim.test]": "xcbc/internal/sim",
+		"": "",
+	} {
+		if got := CanonicalImportPath(in); got != want {
+			t.Errorf("CanonicalImportPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsOrderSensitiveIncludesDeterministic(t *testing.T) {
+	if !IsOrderSensitive("xcbc/internal/sim") {
+		t.Error("deterministic packages must be order-sensitive")
+	}
+	if !IsOrderSensitive("xcbc/pkg/xcbc/api") {
+		t.Error("OrderSensitiveExtras entry not honored")
+	}
+	if IsOrderSensitive("xcbc/cmd/clusterctl") {
+		t.Error("exempt CLI must not be order-sensitive")
+	}
+	if IsDeterministic("xcbc/pkg/xcbc/api") {
+		t.Error("api is order-sensitive but must not be in the deterministic set")
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	for _, tc := range []struct {
+		text, directive, reason string
+		ok                      bool
+	}{
+		{"//detlint:ordered keys are independent", "ordered", "keys are independent", true},
+		{"//detlint:wallclock", "wallclock", "", true},
+		{"//detlint: ", "", "", false},
+		{"// detlint:ordered spaced prefix is not a directive", "", "", false},
+		{"// plain comment", "", "", false},
+	} {
+		d, r, ok := ParseDirective(tc.text)
+		if d != tc.directive || r != tc.reason || ok != tc.ok {
+			t.Errorf("ParseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.text, d, r, ok, tc.directive, tc.reason, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package clock exercises detclock: wall-clock reads in a package the test
+// driver marks deterministic.
+package clock
+
+import "time"
+
+// Clock is the injected seam the contract demands.
+type Clock func() time.Time
+
+// Timestamp reads the ambient clock: flagged.
+func Timestamp() time.Time {
+	return time.Now() // want "time.Now is wall clock"
+}
+
+// Fallback assigns the wall clock as a default: flagged even though it is
+// a value use, not a call.
+func Fallback(c Clock) Clock {
+	if c == nil {
+		c = time.Now // want "time.Now is wall clock"
+	}
+	return c
+}
+
+// Nap schedules against the host: flagged.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep is wall clock"
+}
+
+// Pure holds and constructs timestamps without asking the host: clean.
+func Pure(c Clock) time.Time {
+	epoch := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	if c == nil {
+		return epoch
+	}
+	return c().Add(time.Hour)
+}
+
+// Justified is a reviewed seam: suppressed, no finding.
+func Justified() time.Time {
+	//detlint:wallclock fixture-reviewed seam; never feeds a trace
+	return time.Now()
+}
+
+// Bare carries a directive with no reason: both the finding and the empty
+// directive are reported.
+func Bare() time.Time {
+	//detlint:wallclock
+	return time.Now() // want "suppression requires a justification" "time.Now is wall clock"
+}

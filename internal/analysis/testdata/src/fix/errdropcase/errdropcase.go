@@ -1,0 +1,48 @@
+// Package errdropcase exercises errdrop: discarded errors from the WAL
+// durability methods.
+package errdropcase
+
+import "fix/internal/wal"
+
+// Dropped throws the Sync error away in an expression statement: flagged.
+func Dropped(l *wal.Log) {
+	l.Sync() // want "Sync discarded"
+}
+
+// Blank discards through the blank identifier: flagged.
+func Blank(l *wal.Log) {
+	_, _ = l.Append(nil) // want "assigned to _"
+}
+
+// Deferred hides the Close error behind defer: flagged.
+func Deferred(l *wal.Log) {
+	defer l.Close() // want "discarded by defer"
+}
+
+// Handled propagates every error: clean.
+func Handled(l *wal.Log) error {
+	if _, err := l.Append(nil); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+// NonDurability calls a method outside the durability set: clean.
+func NonDurability(l *wal.Log) string {
+	return l.Path()
+}
+
+// Justified documents why the error is secondary: suppressed, no finding.
+func Justified(l *wal.Log) {
+	//detlint:errdrop fixture: log already abandoned for a prior failure
+	l.Close()
+}
+
+// Bare carries a directive with no reason: both diagnostics fire.
+func Bare(l *wal.Log) {
+	//detlint:errdrop
+	l.Close() // want "suppression requires a justification" "Close discarded"
+}

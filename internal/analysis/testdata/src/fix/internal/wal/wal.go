@@ -1,0 +1,25 @@
+// Package wal is the fixture stand-in for the real write-ahead log:
+// errdrop matches any receiver type declared in a package whose import
+// path ends in /internal/wal.
+package wal
+
+// Log mimics the durability surface of the real WAL.
+type Log struct{}
+
+// Append journals one record.
+func (l *Log) Append(rec []byte) (int64, error) { return 0, nil }
+
+// AppendBatch journals several records.
+func (l *Log) AppendBatch(recs [][]byte) (int64, error) { return 0, nil }
+
+// Sync flushes to stable storage.
+func (l *Log) Sync() error { return nil }
+
+// Close syncs and releases the log.
+func (l *Log) Close() error { return nil }
+
+// Snapshot writes a compaction point.
+func (l *Log) Snapshot(state []byte) error { return nil }
+
+// Path is a non-durability method: errdrop ignores it.
+func (l *Log) Path() string { return "" }

@@ -1,0 +1,76 @@
+// Package lockcase exercises lockcopy: mutex-by-value receivers and early
+// returns that skip Unlock.
+package lockcase
+
+import "sync"
+
+// Counter holds a lock, so value receivers copy it.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value copies the mutex on every call: flagged.
+func (c Counter) Value() int { // want "value receiver"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bump uses a pointer receiver and a deferred unlock: clean.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// TryBump returns early while still holding the lock: flagged.
+func (c *Counter) TryBump(limit int) bool {
+	c.mu.Lock()
+	if c.n >= limit {
+		return false // want "still locked"
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+// Peek unlocks on the straight-line path before returning: clean.
+func (c *Counter) Peek() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Guarded holds an RWMutex through an embedded field: the promoted RLock
+// is still a sync method.
+type Guarded struct {
+	sync.RWMutex
+	v string
+}
+
+// Read returns early under RLock with no deferred RUnlock: flagged.
+func (g *Guarded) Read(ok bool) string {
+	g.RLock()
+	if !ok {
+		return "" // want "still locked"
+	}
+	v := g.v
+	g.RUnlock()
+	return v
+}
+
+// LockForScan hands out locked state on purpose: suppressed, no finding.
+func (c *Counter) LockForScan() *Counter {
+	c.mu.Lock()
+	//detlint:lockcopy fixture: caller owns the lock and unlocks after scanning
+	return c
+}
+
+// LockBare carries a directive with no reason: both diagnostics fire.
+func (c *Counter) LockBare() *Counter {
+	c.mu.Lock()
+	//detlint:lockcopy
+	return c // want "suppression requires a justification" "still locked"
+}

@@ -1,0 +1,101 @@
+// Package order exercises maporder: map ranges in a package the test
+// driver marks order-sensitive.
+package order
+
+import "sort"
+
+// Flagged leaks map order into a slice: flagged.
+func Flagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is random"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedAfter collects then sorts before anyone consumes: clean.
+func SortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalSortHelper sorts through a helper following the naming convention:
+// clean.
+func LocalSortHelper(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+// Counter aggregates through map indexes — each key visited once: clean.
+func Counter(m map[string]int) map[string]int {
+	c := make(map[string]int)
+	for k, v := range m {
+		c[k] += v
+	}
+	return c
+}
+
+// IntSum folds with a commutative integer operator: clean.
+func IntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// FloatSum is NOT order-free — float addition is not associative: flagged.
+func FloatSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "map iteration order is random"
+		s += v
+	}
+	return s
+}
+
+// Guarded combines an if-guard, continue, and an integer fold: clean.
+func Guarded(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		if k == "" {
+			continue
+		}
+		n += v
+	}
+	return n
+}
+
+// Prune deletes entries while ranging: clean.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Justified carries a written reason: suppressed, no finding.
+func Justified(m map[string]func()) {
+	//detlint:ordered fixture: callbacks are independent and order-free
+	for _, f := range m {
+		f()
+	}
+}
+
+// Bare carries a directive with no reason: both diagnostics fire.
+func Bare(m map[string]func()) {
+	//detlint:ordered
+	for _, f := range m { // want "suppression requires a justification" "map iteration order is random"
+		f()
+	}
+}

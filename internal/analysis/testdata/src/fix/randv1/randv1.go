@@ -1,0 +1,10 @@
+// Package randv1 exercises detrand's math/rand (v1) import rejection: the
+// whole package is off limits in deterministic code, even seeded.
+package randv1
+
+import "math/rand" // want "imports math/rand"
+
+// Seeded uses the v1 API the repo migrated away from.
+func Seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,38 @@
+// Package randv2 exercises detrand over math/rand/v2: the process-global
+// source is flagged, the seeded PCG idiom is the sanctioned form.
+package randv2
+
+import "math/rand/v2"
+
+// Global draws from the process-global source: flagged.
+func Global() int {
+	return rand.IntN(10) // want "process-global source"
+}
+
+// Shuffle mutates through the global source: flagged.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global source"
+}
+
+// Seeded is the sanctioned idiom: clean.
+func Seeded(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return rng.Float64()
+}
+
+// Typed holds generator types without touching the global source: clean.
+func Typed(rng *rand.Rand) int {
+	return rng.IntN(10)
+}
+
+// Justified is a reviewed exception: suppressed, no finding.
+func Justified() float64 {
+	//detlint:rand fixture-reviewed jitter; never feeds a trace
+	return rand.Float64()
+}
+
+// Bare carries a directive with no reason: both diagnostics fire.
+func Bare() float64 {
+	//detlint:rand
+	return rand.Float64() // want "suppression requires a justification" "process-global source"
+}

@@ -1,0 +1,18 @@
+// Package bad violates lockcopy; the vettool end-to-end test expects
+// `go vet -vettool=detlint ./bad` to fail with a diagnostic.
+package bad
+
+import "sync"
+
+// Box holds a mutex, so the value receiver below copies the lock.
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Get locks a copy of the mutex on every call.
+func (b Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}

@@ -1,0 +1,25 @@
+// Package clean passes every detlint analyzer; the vettool end-to-end test
+// expects `go vet -vettool=detlint ./clean` to exit 0.
+package clean
+
+import "sync"
+
+// Box is lock-safe: pointer receivers and deferred unlocks throughout.
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Get reads under the lock.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// Set writes under the lock.
+func (b *Box) Set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v = v
+}

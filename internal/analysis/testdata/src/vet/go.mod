@@ -1,0 +1,3 @@
+module vet
+
+go 1.24

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -208,7 +209,7 @@ func sweepSeed(ctx context.Context, spec Spec, seed int64) SeedOutcome {
 		if mech != nil {
 			return false
 		}
-		for c := range categories(v) {
+		for c := range categories(v) { //detlint:ordered set-intersection emptiness test; the answer is order-independent
 			if want[c] {
 				return true
 			}
@@ -389,14 +390,12 @@ func checkRecoveryEquivalence(first, second *scenario.Result) ([]string, error) 
 	}
 	for _, ev := range first.Events[:cursor] {
 		if _, err := log.AppendJSON("campaign.event", ev); err != nil {
-			log.Close()
-			return nil, fmt.Errorf("campaign: wal append: %w", err)
+			return nil, errors.Join(fmt.Errorf("campaign: wal append: %w", err), log.Close())
 		}
 	}
 	sum := prefixHash(first.TraceJSONL(), cursor)
 	if _, err := log.AppendJSON("campaign.cursor", map[string]any{"cursor": cursor, "hash": sum}); err != nil {
-		log.Close()
-		return nil, fmt.Errorf("campaign: wal append cursor: %w", err)
+		return nil, errors.Join(fmt.Errorf("campaign: wal append cursor: %w", err), log.Close())
 	}
 	if err := log.Close(); err != nil {
 		return nil, fmt.Errorf("campaign: wal close: %w", err)
@@ -406,7 +405,7 @@ func checkRecoveryEquivalence(first, second *scenario.Result) ([]string, error) 
 	if err != nil {
 		return []string{fmt.Sprintf("recovery-equivalence: reopen failed: %v", err)}, nil
 	}
-	defer reopened.Close()
+	defer reopened.Close() //detlint:errdrop read-only reopen for inspection; the verdict is already computed from rec
 
 	var v []string
 	if rec.Repaired || rec.DroppedBytes != 0 {

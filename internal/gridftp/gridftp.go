@@ -244,7 +244,7 @@ func (ns *Namespace) Mount(prefix string, ep *Endpoint) error {
 // longest matching mount prefix.
 func (ns *Namespace) Resolve(gridPath string) (*Endpoint, string, error) {
 	best := ""
-	for prefix := range ns.mounts {
+	for prefix := range ns.mounts { //detlint:ordered longest match wins and equal-length matching prefixes are identical strings
 		if strings.HasPrefix(gridPath, prefix+"/") || gridPath == prefix {
 			if len(prefix) > len(best) {
 				best = prefix

@@ -79,12 +79,15 @@ func DistributedSolve(w *mpi.World, n, nb int, seed int64) (DistributedResult, e
 			for j := k; j < k+kb; j++ {
 				// --- distributed partial pivoting on column j ---
 				// Each rank proposes its best local candidate (|v|, row).
+				// Ties on |v| break toward the lowest global row so the
+				// elimination order never depends on map iteration order.
 				bestVal, bestRow := -1.0, -1
-				for r, row := range rows {
+				for r, row := range rows { //detlint:ordered max with (|v|, lowest row) tiebreak; the winner is order-independent
 					if r < j {
 						continue
 					}
-					if v := math.Abs(row[j]); v > bestVal {
+					v := math.Abs(row[j])
+					if v > bestVal || (v == bestVal && (bestRow == -1 || r < bestRow)) {
 						bestVal, bestRow = v, r
 					}
 				}
@@ -156,7 +159,7 @@ func DistributedSolve(w *mpi.World, n, nb int, seed int64) (DistributedResult, e
 				// replicated RHS contribution for row j immediately (forward
 				// substitution happens implicitly at the end instead; here we
 				// only update the matrix).
-				for r, row := range rows {
+				for r, row := range rows { //detlint:ordered each owned row is updated independently; no cross-row state
 					if r <= j {
 						continue
 					}

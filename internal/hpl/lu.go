@@ -9,7 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 )
@@ -60,7 +60,7 @@ func (m *Matrix) NormInf() float64 {
 // [-0.5, 0.5], the HPL generator's distribution) and right-hand side b,
 // deterministically from seed.
 func RandomSystem(n int, seed int64) (*Matrix, []float64) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewPCG(uint64(seed), 0))
 	a := NewMatrix(n, n)
 	for i := range a.Data {
 		a.Data[i] = rng.Float64() - 0.5

@@ -182,7 +182,7 @@ func (sess *Session) Load(spec string) error {
 	for k, v := range m.SetEnv {
 		sess.env[k] = v
 	}
-	for k, paths := range m.PrependPath {
+	for k, paths := range m.PrependPath { //detlint:ordered each iteration reads and writes only its own env key
 		existing := sess.env[k]
 		parts := append([]string(nil), paths...)
 		if existing != "" {
@@ -244,7 +244,7 @@ func (sess *Session) reload(mods []*Modulefile) error {
 		for k := range m.SetEnv {
 			delete(base, k)
 		}
-		for k, paths := range m.PrependPath {
+		for k, paths := range m.PrependPath { //detlint:ordered each iteration reads and writes only its own env key
 			cur := strings.Split(base[k], ":")
 			var kept []string
 			for _, c := range cur {

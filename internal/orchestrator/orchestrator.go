@@ -252,7 +252,7 @@ func (j *Job) finish(result any, err error) {
 // notifyLocked nudges every subscriber without blocking; a full buffer
 // means a wake-up is already pending, which is all a subscriber needs.
 func (j *Job) notifyLocked() {
-	for _, ch := range j.subs {
+	for _, ch := range j.subs { //detlint:ordered identical non-blocking nudge to every subscriber; no subscriber observes the order
 		select {
 		case ch <- struct{}{}:
 		default:

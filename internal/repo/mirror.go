@@ -2,6 +2,8 @@ package repo
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"time"
 )
 
@@ -51,8 +53,10 @@ func (m *Mirror) Sync(now time.Time) (added, removed int, err error) {
 			added++
 		}
 	}
-	// Retract what upstream retracted.
-	for nevra := range local {
+	// Retract what upstream retracted, in sorted order: retraction mutates
+	// the local repository revision by revision, and on error the partial
+	// state (and which NEVRA the error names) must be reproducible.
+	for _, nevra := range slices.Sorted(maps.Keys(local)) {
 		if !upstream[nevra] {
 			if err := m.Local.Retract(nevra); err != nil {
 				return added, removed, fmt.Errorf("repo: mirror retract: %w", err)

@@ -87,7 +87,7 @@ func (r *Repository) Publish(pkgs ...*rpm.Package) error {
 func (r *Repository) Retract(nevra string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, ps := range r.packages {
+	for name, ps := range r.packages { //detlint:ordered a NEVRA lives in exactly one name bucket; at most one iteration mutates
 		for _, p := range ps {
 			if p.NEVRA() == nevra {
 				if rest := rpm.RemovePtr(ps, p); len(rest) == 0 {

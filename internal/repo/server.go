@@ -23,8 +23,9 @@ type Server struct {
 	clock  func() time.Time
 }
 
-// NewServer builds a server for a fixed list of repositories. clock may be
-// nil, in which case time.Now is used; tests inject a fixed clock.
+// NewServer builds a server for a fixed list of repositories. clock is
+// required (tests inject a fixed clock); nil panics rather than falling
+// back to wall time.
 func NewServer(clock func() time.Time, repos ...*Repository) *Server {
 	fixed := append([]*Repository(nil), repos...)
 	return newServer(clock, func() []*Repository { return fixed })
@@ -47,7 +48,9 @@ func NewSetServer(clock func() time.Time, set *Set) *Server {
 
 func newServer(clock func() time.Time, source func() []*Repository) *Server {
 	if clock == nil {
-		clock = time.Now
+		// No wall-clock fallback: served timestamps feed revision metadata
+		// that replay compares, so the clock must always be injected.
+		panic("repo: newServer requires a clock; pass the simulation clock or a fixed test clock")
 	}
 	return &Server{source: source, clock: clock}
 }

@@ -122,7 +122,15 @@ func (m *Manager) Utilization() float64 {
 			delivered += (j.EndTime - j.StartTime).Duration().Seconds() * float64(j.Cores)
 		}
 	}
-	for _, j := range m.running {
+	// Sum running jobs in ID order: float addition is not associative, so
+	// summing in map order would make Utilization depend on iteration order.
+	ids := make([]int, 0, len(m.running))
+	for id := range m.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := m.running[id]
 		delivered += (now - j.StartTime).Duration().Seconds() * float64(j.Cores)
 	}
 	return delivered / available

@@ -367,7 +367,7 @@ func (m *Manager) fitsInShadow(j *Job) bool {
 		return true
 	}
 	var shadow sim.Time
-	for _, r := range m.running {
+	for _, r := range m.running { //detlint:ordered max over values; equal candidates are interchangeable
 		end := r.StartTime + sim.Time(r.Walltime)
 		if end > shadow {
 			shadow = end

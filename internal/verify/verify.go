@@ -228,10 +228,26 @@ func (c *Checker) checkPackageDrift(rep *Report) {
 		}
 	}
 	quorum := len(sets)/2 + 1
-	for name, evrVotes := range votes {
+	// Walk packages and candidate EVRs in sorted order: Findings order is
+	// part of the report (and the golden traces), and the majority pick
+	// must not depend on which EVR a map range happens to visit first —
+	// ties break toward the smallest EVR string.
+	names := make([]string, 0, len(votes))
+	for name := range votes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		evrVotes := votes[name]
+		evrs := make([]string, 0, len(evrVotes))
+		for evr := range evrVotes {
+			evrs = append(evrs, evr)
+		}
+		sort.Strings(evrs)
 		majorityEVR, count := "", 0
 		total := 0
-		for evr, n := range evrVotes {
+		for _, evr := range evrs {
+			n := evrVotes[evr]
 			total += n
 			if n > count {
 				majorityEVR, count = evr, n

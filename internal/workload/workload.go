@@ -8,7 +8,7 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 
 	"xcbc/internal/sched"
@@ -68,7 +68,7 @@ type TimedJob struct {
 // Generate produces the deterministic job stream for a spec.
 func Generate(spec Spec) []TimedJob {
 	s := spec.withDefaults()
-	rng := rand.New(rand.NewSource(s.Seed))
+	rng := rand.New(rand.NewPCG(uint64(s.Seed), 0))
 	out := make([]TimedJob, 0, s.Jobs)
 	now := sim.Time(0)
 	for i := 0; i < s.Jobs; i++ {
@@ -81,7 +81,7 @@ func Generate(spec Spec) []TimedJob {
 			At: now,
 			Job: &sched.Job{
 				Name:     fmt.Sprintf("job-%03d", i),
-				User:     s.Users[rng.Intn(len(s.Users))],
+				User:     s.Users[rng.IntN(len(s.Users))],
 				Cores:    cores,
 				Runtime:  runtime,
 				Walltime: wall,

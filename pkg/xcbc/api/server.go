@@ -60,8 +60,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"maps"
 	"math"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -344,8 +346,8 @@ func newServer(cfg Config) *Server {
 	// Method-less fallbacks: a known path with the wrong verb is 405 (with
 	// Allow), not 404. The method-specific patterns above are more
 	// specific, so they win for their verbs.
-	for path, methods := range allow {
-		mux.HandleFunc(path, methodNotAllowed(strings.Join(methods, ", ")))
+	for _, path := range slices.Sorted(maps.Keys(allow)) {
+		mux.HandleFunc(path, methodNotAllowed(strings.Join(allow[path], ", ")))
 	}
 	mux.HandleFunc("/api/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown API route (current version: "+Version+"; discover routes at GET /api/"+Version+")")
@@ -704,8 +706,8 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]deploymentInfo, 0, len(s.deployments))
-	for _, dep := range s.deployments {
-		out = append(out, s.deploymentInfoOf(dep, false, 0))
+	for _, id := range slices.Sorted(maps.Keys(s.deployments)) {
+		out = append(out, s.deploymentInfoOf(s.deployments[id], false, 0))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
 }

@@ -319,8 +319,7 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	}
 	if rec.Snapshot != nil {
 		if err := json.Unmarshal(rec.Snapshot, st.m); err != nil {
-			l.Close()
-			return nil, nil, fmt.Errorf("api: decoding snapshot: %w", err)
+			return nil, nil, errors.Join(fmt.Errorf("api: decoding snapshot: %w", err), l.Close())
 		}
 		if st.m.Deployments == nil {
 			st.m.Deployments = make(map[string]*depMirror)
@@ -341,9 +340,8 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	s.store = st
 	if err := st.materialize(report); err != nil {
 		st.cancel()
-		l.Close()
 		s.store = nil
-		return nil, nil, err
+		return nil, nil, errors.Join(err, l.Close())
 	}
 	report.Elapsed = time.Since(start)
 	return st, report, nil

@@ -283,7 +283,7 @@ func (c *Cluster) Validate(opts ...ValidateOption) (Validation, error) {
 func (c *Cluster) CheckUpdates(policy UpdatePolicy, now time.Time) UpdateCheck {
 	notes := c.ops.CheckUpdates(policy.internal(), now)
 	out := UpdateCheck{Policy: policy, ByNode: make(map[string]NodeUpdates, len(notes))}
-	for node, n := range notes {
+	for node, n := range notes { //detlint:ordered map-to-map rebuild under distinct keys; Summary is pure
 		out.ByNode[node] = NodeUpdates{Pending: len(n.Pending), Applied: len(n.Applied),
 			Summary: n.Summary()}
 	}

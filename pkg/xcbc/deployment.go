@@ -236,7 +236,7 @@ func (u UpdateCheck) AppliedTotal() int {
 func (d *Deployment) UpdateCheck(policy UpdatePolicy, now time.Time) UpdateCheck {
 	notes := d.core.RunUpdateCheckEverywhere(policy.internal(), now)
 	out := UpdateCheck{Policy: policy, ByNode: make(map[string]NodeUpdates, len(notes))}
-	for node, n := range notes {
+	for node, n := range notes { //detlint:ordered map-to-map rebuild under distinct keys; Summary is pure
 		out.ByNode[node] = NodeUpdates{Pending: len(n.Pending), Applied: len(n.Applied),
 			Summary: n.Summary()}
 	}

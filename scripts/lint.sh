@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Static-analysis gate: everything that must hold before a commit merges.
+#
+#   1. gofmt             — the whole tree, fixtures included (testdata is
+#                          invisible to go tooling but not to gofmt -l).
+#   2. go vet            — the standard passes.
+#   3. detlint           — the determinism/durability suite (cmd/detlint),
+#                          run through the real `go vet -vettool=` driver
+#                          so CI exercises the same protocol developers do.
+#   4. govulncheck       — known-vulnerability scan; skipped with a notice
+#                          when the tool is absent (offline dev boxes),
+#                          installed on demand in CI where there is network.
+#
+# Exit codes follow the repo convention: 0 pass, 1 findings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "files need gofmt:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== detlint (go vet -vettool) =="
+bin="$(mktemp -d)/detlint"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/detlint
+go vet -vettool="$bin" ./...
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+  govulncheck ./...
+else
+  echo "govulncheck not installed; skipping (CI installs it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
+echo "lint: all gates passed"
