@@ -129,6 +129,7 @@ func fleetCmd(args []string, stdout, stderr io.Writer) int {
 		fs := flag.NewFlagSet("fleet ls", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		server := fs.String("server", "http://localhost:8080", "control-plane base URL")
+		keyFlag(fs)
 		if err := fs.Parse(rest); err != nil {
 			return 2
 		}
@@ -158,6 +159,7 @@ func fleetCmd(args []string, stdout, stderr io.Writer) int {
 		fs := flag.NewFlagSet("fleet runs", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		server := fs.String("server", "http://localhost:8080", "control-plane base URL")
+		keyFlag(fs)
 		id := fs.String("id", "", "fleet ID (e.g. f1)")
 		if err := fs.Parse(rest); err != nil {
 			return 2

@@ -34,6 +34,14 @@
 //	clusterctl metrics     -server URL -id d1
 //	clusterctl validate    -server URL -id d1
 //	clusterctl advance     -server URL -id d1 -by 30m
+//	clusterctl load        -server URL [-n 1000] [-workers 8] [-seed 1]
+//
+// Servers running with tenants configured require an API key on every
+// request; pass it with -api-key (or $CLUSTERCTL_API_KEY). The load
+// subcommand replays a deterministic seeded read-mostly request mix
+// through a bounded worker pool (internal/loadgen) and prints wrk-style
+// throughput and latency quantiles; it exits 1 if any response falls
+// outside 2xx/429.
 //
 // When the target deployment is still pending or building the server
 // answers 409 Conflict; clusterctl prints the state with a wait hint and
@@ -79,6 +87,8 @@ func main() {
 			os.Exit(validateCmd(os.Args[2:]))
 		case "advance":
 			os.Exit(advanceCmd(os.Args[2:]))
+		case "load":
+			os.Exit(loadCmd(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	clusterName := flag.String("cluster", "littlefe", "cluster: littlefe, marshall, or howard (XCBC path)")
@@ -207,10 +217,23 @@ func deployCmd(args []string) int {
 // 1 request or server error, 2 the deployment is not ready yet (retry
 // after the build settles).
 
+// apiKey is the bearer token sent with every control-plane request, for
+// servers running with tenants configured. Set by -api-key on any remote
+// subcommand; defaults to $CLUSTERCTL_API_KEY so scripts need not embed
+// credentials in argv.
+var apiKey string
+
+// keyFlag registers -api-key into the shared apiKey variable.
+func keyFlag(fs *flag.FlagSet) {
+	fs.StringVar(&apiKey, "api-key", os.Getenv("CLUSTERCTL_API_KEY"),
+		"tenant API key (default $CLUSTERCTL_API_KEY; empty for open-mode servers)")
+}
+
 // clientFlags registers the flags every day-2 subcommand shares.
 func clientFlags(fs *flag.FlagSet) (server, id *string) {
 	server = fs.String("server", "http://localhost:8080", "control-plane base URL")
 	id = fs.String("id", "", "cluster ID (the deployment ID, e.g. d1)")
+	keyFlag(fs)
 	return server, id
 }
 
@@ -235,6 +258,9 @@ func apiCall(method, url string, body any, out any) int {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

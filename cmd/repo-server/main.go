@@ -12,6 +12,20 @@
 // restarted server recovers its deployments, fleets, and scenario runs
 // before listening (see GET /api/v1/store for live durability status).
 //
+// With -tenants the control plane becomes multi-tenant: the flag names a
+// JSON file holding an array of tenant declarations —
+//
+//	[{"name": "physics", "key": "s3cret",
+//	  "quotas": {"max_deployments": 8, "max_fleets": 4, "max_campaigns": 2},
+//	  "rate_limit": 50, "burst": 100}]
+//
+// — and every /api/v1 request (except discovery and the health probe)
+// must then carry a tenant's key as "Authorization: Bearer <key>" or
+// "X-API-Key". Each tenant sees only its own resources, is rate-limited
+// to its token bucket (429 + Retry-After), and is capped at its quotas
+// (403). With -data-dir too, each tenant journals to its own WAL under
+// <data-dir>/tenants/<name>, so restarts recover every shard.
+//
 // Usage:
 //
 //	repo-server -addr :8080
@@ -29,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +63,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 	snapEvery := flag.Int("snapshot-every", 0, "WAL records between snapshots (0 = default)")
 	resume := flag.Bool("resume", false, "resume deployments interrupted mid-build instead of failing them")
+	tenantsPath := flag.String("tenants", "", "JSON tenant config file (empty = open mode, no auth)")
 	flag.Parse()
 
 	xnit, err := xcbc.NewXNITRepository()
@@ -61,6 +77,17 @@ func main() {
 	}
 	cfg := api.Config{Repos: []*repo.Repository{xnit}, Logger: logger,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery, ResumeInterrupted: *resume}
+	if *tenantsPath != "" {
+		raw, err := os.ReadFile(*tenantsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repo-server:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &cfg.Tenants); err != nil {
+			fmt.Fprintf(os.Stderr, "repo-server: parsing %s: %v\n", *tenantsPath, err)
+			os.Exit(1)
+		}
+	}
 	srv, rec, err := api.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repo-server:", err)

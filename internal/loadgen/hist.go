@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// histogram is a log-linear latency histogram: 32 linear sub-buckets per
+// power-of-two octave of nanoseconds. Relative quantile error is bounded
+// by the sub-bucket width (~3%), which is far below run-to-run latency
+// noise, and recording is a couple of integer ops — no allocation, no
+// sorting, bounded memory regardless of request count.
+type histogram struct {
+	counts [64 * subBuckets]uint64
+	total  uint64
+	max    time.Duration
+}
+
+const subBuckets = 32
+
+func newHistogram() *histogram { return &histogram{} }
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := uint64(d)
+	if ns < subBuckets {
+		return int(ns) // the first octaves are exact
+	}
+	exp := bits.Len64(ns) - 1 // position of the leading bit
+	// The sub-bucket is the next 5 bits below the leading bit.
+	shift := exp - 5
+	sub := (ns >> uint(shift)) & (subBuckets - 1)
+	return (exp-4)*subBuckets + int(sub)
+}
+
+// lowOf returns the inclusive lower bound of bucket i — the value
+// reported for every sample in it. Under-reporting by at most one
+// sub-bucket keeps quantiles conservative-stable (never inflated by
+// bucketing).
+func lowOf(i int) time.Duration {
+	if i < subBuckets {
+		return time.Duration(i)
+	}
+	exp := i/subBuckets + 4
+	sub := uint64(i % subBuckets)
+	return time.Duration(1<<uint(exp) | sub<<uint(exp-5))
+}
+
+func (h *histogram) add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the latency at or below which a fraction q of samples
+// fall. An empty histogram reports 0.
+func (h *histogram) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return lowOf(i)
+		}
+	}
+	return h.max
+}

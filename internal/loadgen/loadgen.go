@@ -1,0 +1,252 @@
+// Package loadgen is a wrk-style HTTP load driver with no dependencies
+// outside the standard library. It exists so the control plane's
+// admission and pagination behavior can be proven under concurrency by
+// in-repo benchmarks and smoke tests rather than asserted: a bounded
+// worker pool replays a deterministic seeded request mix against an
+// http.Handler (in process, no sockets) or a base URL (over the wire),
+// and reports throughput plus a latency histogram (p50/p90/p99).
+//
+// Determinism contract: the request *sequence* is a pure function of
+// (Spec.Seed, Spec.Workers, Spec.Requests, Spec.Mix) — each worker draws
+// from its own rand/v2 PCG stream, so which requests are issued (and per
+// worker, in what order) never varies run to run. Latencies and the
+// interleaving across workers are wall-clock facts and do vary; status
+// counts vary only if the server itself is load-sensitive (rate limits),
+// which is exactly what the driver is for measuring.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is one entry in the weighted request mix.
+type Request struct {
+	Method string
+	Path   string // absolute path, may carry a query string
+	Body   string // request body; empty means none
+	Header http.Header
+	Weight int // relative frequency in the mix; <=0 counts as 1
+}
+
+// Spec configures one load run. Exactly one of Handler and BaseURL must
+// be set.
+type Spec struct {
+	Handler http.Handler // in-process target (no sockets, no syscalls)
+	BaseURL string       // network target, e.g. "http://127.0.0.1:8080"
+	Client  *http.Client // for BaseURL mode; nil uses a 10s-timeout client
+
+	Mix      []Request   // weighted request mix; at least one entry
+	Header   http.Header // applied to every request (e.g. Authorization)
+	Workers  int         // pool size; <=0 means 8
+	Requests int         // total requests across all workers; <=0 means 1000
+	Seed     uint64      // base seed for the deterministic request sequence
+}
+
+// Result is what one load run measured.
+type Result struct {
+	Requests  int
+	Elapsed   time.Duration
+	ReqPerSec float64
+	Status    map[int]int // status code -> responses
+	Errors    int         // transport failures (BaseURL mode only)
+
+	P50, P90, P99, Max time.Duration
+
+	hist *histogram
+}
+
+// Run drives Spec.Requests requests through a pool of Spec.Workers
+// workers and blocks until every response has been read.
+func Run(spec Spec) (*Result, error) {
+	if (spec.Handler == nil) == (spec.BaseURL == "") {
+		return nil, errors.New("loadgen: exactly one of Handler and BaseURL must be set")
+	}
+	if len(spec.Mix) == 0 {
+		return nil, errors.New("loadgen: empty request mix")
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	total := spec.Requests
+	if total <= 0 {
+		total = 1000
+	}
+	if workers > total {
+		workers = total
+	}
+	client := spec.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	// Cumulative weights for O(log n) weighted choice.
+	cum := make([]int, len(spec.Mix))
+	sum := 0
+	for i, req := range spec.Mix {
+		w := req.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sum += w
+		cum[i] = sum
+	}
+
+	// Static request split: worker w issues its share of the total, so
+	// the issued set is independent of scheduling.
+	per := total / workers
+	extra := total % workers
+
+	type shard struct {
+		hist   *histogram
+		status map[int]int
+		errs   int
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.hist = newHistogram()
+			sh.status = make(map[int]int)
+			rng := rand.New(rand.NewPCG(spec.Seed, uint64(w)))
+			for i := 0; i < n; i++ {
+				req := &spec.Mix[pick(cum, rng.IntN(sum))]
+				t0 := time.Now()
+				code, err := issue(spec, client, req)
+				sh.hist.add(time.Since(t0))
+				if err != nil {
+					sh.errs++
+					continue
+				}
+				sh.status[code]++
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Requests: total,
+		Elapsed:  elapsed,
+		Status:   make(map[int]int),
+		hist:     newHistogram(),
+	}
+	for i := range shards {
+		res.hist.merge(shards[i].hist)
+		res.Errors += shards[i].errs
+		for code, n := range shards[i].status {
+			res.Status[code] += n
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.ReqPerSec = float64(total) / secs
+	}
+	res.P50 = res.hist.quantile(0.50)
+	res.P90 = res.hist.quantile(0.90)
+	res.P99 = res.hist.quantile(0.99)
+	res.Max = res.hist.max
+	return res, nil
+}
+
+// pick returns the index of the first cumulative weight exceeding x.
+func pick(cum []int, x int) int {
+	return sort.SearchInts(cum, x+1)
+}
+
+// issue performs one request and returns the response status.
+func issue(spec Spec, client *http.Client, req *Request) (int, error) {
+	var body io.Reader
+	if req.Body != "" {
+		body = strings.NewReader(req.Body)
+	}
+	if spec.Handler != nil {
+		r := httptest.NewRequest(req.Method, req.Path, body)
+		decorate(r, spec.Header, req.Header)
+		w := httptest.NewRecorder()
+		spec.Handler.ServeHTTP(w, r)
+		return w.Code, nil
+	}
+	r, err := http.NewRequest(req.Method, spec.BaseURL+req.Path, body)
+	if err != nil {
+		return 0, err
+	}
+	decorate(r, spec.Header, req.Header)
+	resp, err := client.Do(r)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reusable; the body content is not the
+	// driver's business.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func decorate(r *http.Request, global, per http.Header) {
+	if r.Body != nil {
+		r.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range global {
+		r.Header[k] = vs
+	}
+	for k, vs := range per {
+		r.Header[k] = vs
+	}
+}
+
+// Unexpected counts outcomes a healthy admission-controlled server must
+// not produce under pure load: transport errors plus any status outside
+// 2xx and 429 (back-pressure is expected; anything else is a bug in the
+// mix or the server).
+func (r *Result) Unexpected() int {
+	n := r.Errors
+	for code, c := range r.Status {
+		if (code < 200 || code > 299) && code != http.StatusTooManyRequests {
+			n += c
+		}
+	}
+	return n
+}
+
+// String renders the run wrk-style.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests in %v, %.1f req/s\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqPerSec)
+	fmt.Fprintf(&b, "latency p50=%v p90=%v p99=%v max=%v\n",
+		r.P50, r.P90, r.P99, r.Max)
+	codes := make([]int, 0, len(r.Status))
+	for code := range r.Status {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	b.WriteString("status ")
+	for i, code := range codes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d×%d", code, r.Status[code])
+	}
+	if r.Errors > 0 {
+		fmt.Fprintf(&b, " errors×%d", r.Errors)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,295 @@
+package loadgen
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAgainstHandler(t *testing.T) {
+	var hits atomic.Int64
+	var posts atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+			if string(readAll(t, r)) != `{"n":1}` {
+				t.Error("body not delivered")
+			}
+			w.WriteHeader(http.StatusCreated)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	res, err := Run(Spec{
+		Handler: h,
+		Mix: []Request{
+			{Method: "GET", Path: "/x", Weight: 3},
+			{Method: "POST", Path: "/y", Body: `{"n":1}`, Weight: 1},
+		},
+		Workers:  4,
+		Requests: 400,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 400 {
+		t.Fatalf("handler saw %d requests, want 400", got)
+	}
+	if res.Requests != 400 || res.Status[200]+res.Status[201] != 400 {
+		t.Fatalf("result mismatch: %+v", res)
+	}
+	if res.Status[201] != int(posts.Load()) {
+		t.Fatalf("status 201 count %d != POSTs served %d", res.Status[201], posts.Load())
+	}
+	// 1-in-4 weight: POSTs should be near 100 of 400, and never the
+	// majority.
+	if p := res.Status[201]; p < 50 || p > 150 {
+		t.Fatalf("weighted mix skewed: %d POSTs of 400", p)
+	}
+	if res.ReqPerSec <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.Unexpected() != 0 {
+		t.Fatalf("unexpected outcomes: %+v", res.Status)
+	}
+}
+
+// TestDeterministicSequence pins the determinism contract: the multiset
+// of issued requests is a pure function of (seed, workers, total, mix).
+func TestDeterministicSequence(t *testing.T) {
+	issued := func(seed uint64) map[string]int {
+		var mu sync.Mutex
+		got := map[string]int{}
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			got[r.URL.Path]++
+			mu.Unlock()
+		})
+		_, err := Run(Spec{
+			Handler:  h,
+			Mix:      []Request{{Method: "GET", Path: "/a", Weight: 2}, {Method: "GET", Path: "/b"}},
+			Workers:  3,
+			Requests: 301,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := issued(7), issued(7)
+	if a["/a"] != b["/a"] || a["/b"] != b["/b"] {
+		t.Fatalf("same seed, different mix: %v vs %v", a, b)
+	}
+	c := issued(8)
+	if a["/a"] == c["/a"] && a["/b"] == c["/b"] {
+		t.Logf("different seeds coincided (%v); legal but unlikely", c)
+	}
+}
+
+func TestRunAgainstURL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer k" {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	res, err := Run(Spec{
+		BaseURL:  srv.URL,
+		Header:   http.Header{"Authorization": {"Bearer k"}},
+		Mix:      []Request{{Method: "GET", Path: "/"}},
+		Workers:  2,
+		Requests: 50,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status[200] != 50 || res.Errors != 0 {
+		t.Fatalf("want 50×200 over the wire, got %+v errors=%d", res.Status, res.Errors)
+	}
+}
+
+func TestRunTransportErrors(t *testing.T) {
+	res, err := Run(Spec{
+		BaseURL:  "http://127.0.0.1:1", // nothing listens on port 1
+		Client:   &http.Client{Timeout: 200 * time.Millisecond},
+		Mix:      []Request{{Method: "GET", Path: "/"}},
+		Workers:  2,
+		Requests: 4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 4 || res.Unexpected() != 4 {
+		t.Fatalf("want 4 transport errors, got %+v", res)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	cases := []Spec{
+		{},                                // no target
+		{Handler: h, BaseURL: "http://x"}, // two targets
+		{Handler: h},                      // no mix
+		{BaseURL: "http://127.0.0.1:1", Mix: nil}, // no mix, URL mode
+	}
+	for i, spec := range cases {
+		if _, err := Run(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits.Add(1) })
+	res, err := Run(Spec{Handler: h, Mix: []Request{{Method: "GET", Path: "/"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1000 || res.Requests != 1000 {
+		t.Fatalf("default request count not applied: %d", hits.Load())
+	}
+}
+
+func TestUnexpected(t *testing.T) {
+	r := &Result{Status: map[int]int{200: 10, 201: 2, 429: 5, 404: 1, 500: 3}, Errors: 2}
+	if got := r.Unexpected(); got != 6 {
+		t.Fatalf("Unexpected() = %d, want 6 (404 + 3×500 + 2 errors)", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := Run(Spec{
+		Handler:  http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		Mix:      []Request{{Method: "GET", Path: "/"}},
+		Workers:  2,
+		Requests: 20,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"20 requests", "req/s", "p50=", "p99=", "200×20"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1..1000 µs, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.add(time.Duration(i) * time.Microsecond)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		// Log-linear bucketing under-reports by at most one sub-bucket
+		// (~1/32 relative).
+		lo := c.want - c.want/16
+		if got < lo || got > c.want {
+			t.Errorf("quantile(%v) = %v, want within [%v, %v]", c.q, got, lo, c.want)
+		}
+	}
+	if h.quantile(1.0) < h.quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+	if h.max != 1000*time.Microsecond {
+		t.Errorf("max = %v", h.max)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := newHistogram()
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.add(-time.Second) // clamped to 0
+	h.add(0)
+	h.add(time.Nanosecond)
+	if got := h.quantile(0); got != 0 {
+		t.Errorf("quantile(0) = %v", got)
+	}
+	if got := h.quantile(2); got != time.Nanosecond { // q clamped to 1
+		t.Errorf("quantile(>1) = %v", got)
+	}
+
+	// Every representable duration must land in a bucket whose lower
+	// bound does not exceed it and is within one sub-bucket below.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Int64N(int64(10 * time.Minute)))
+		b := bucketOf(d)
+		low := lowOf(b)
+		if low > d {
+			t.Fatalf("lowOf(bucketOf(%d)) = %d > sample", d, low)
+		}
+		if d >= 64 && float64(d-low)/float64(d) > 1.0/16 {
+			t.Fatalf("bucket error for %v: low %v off by %.1f%%", d, low, 100*float64(d-low)/float64(d))
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := newHistogram(), newHistogram(), newHistogram()
+	for i := 1; i <= 500; i++ {
+		a.add(time.Duration(i) * time.Microsecond)
+		whole.add(time.Duration(i) * time.Microsecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.add(time.Duration(i) * time.Microsecond)
+		whole.add(time.Duration(i) * time.Microsecond)
+	}
+	a.merge(b)
+	if a.total != whole.total || a.max != whole.max {
+		t.Fatalf("merge totals: %d/%v vs %d/%v", a.total, a.max, whole.total, whole.max)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.quantile(q) != whole.quantile(q) {
+			t.Fatalf("merge quantile(%v): %v vs %v", q, a.quantile(q), whole.quantile(q))
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	cum := []int{3, 4} // weights 3,1
+	for x, want := range map[int]int{0: 0, 1: 0, 2: 0, 3: 1} {
+		if got := pick(cum, x); got != want {
+			t.Errorf("pick(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func readAll(t *testing.T, r *http.Request) []byte {
+	t.Helper()
+	b := make([]byte, 0, 64)
+	buf := make([]byte, 64)
+	for {
+		n, err := r.Body.Read(buf)
+		b = append(b, buf[:n]...)
+		if err != nil {
+			return b
+		}
+	}
+}

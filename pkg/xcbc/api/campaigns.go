@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +32,7 @@ type campaignRecord struct {
 	ID      string
 	Created time.Time
 	Spec    xcbc.CampaignSpec
+	tn      *tenant
 	done    chan struct{}
 
 	mu        sync.Mutex
@@ -118,26 +118,36 @@ type createCampaignRequest struct {
 	ShrinkBudget int   `json:"shrink_budget"`
 }
 
-func (s *Server) lookupCampaign(id string) (*campaignRecord, bool) {
-	s.mu.RLock()
-	cr, ok := s.campaigns[id]
-	s.mu.RUnlock()
+func lookupCampaign(tn *tenant, id string) (*campaignRecord, bool) {
+	tn.mu.RLock()
+	cr, ok := tn.campaigns[id]
+	tn.mu.RUnlock()
 	return cr, ok
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	crs := make([]*campaignRecord, 0, len(s.campaigns))
-	for _, cr := range s.campaigns {
-		crs = append(crs, cr)
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	s.mu.RUnlock()
-	sort.Slice(crs, func(i, j int) bool { return numSuffix(crs[i].ID) < numSuffix(crs[j].ID) })
+	tn := s.tenant(r)
+	tn.mu.RLock()
+	ids := make([]string, 0, len(tn.campaigns))
+	for id := range tn.campaigns { //detlint:ordered pageIDs sorts before any ID is used
+		ids = append(ids, id)
+	}
+	ids, next := pageIDs(ids, pg)
+	crs := make([]*campaignRecord, 0, len(ids))
+	for _, id := range ids {
+		crs = append(crs, tn.campaigns[id])
+	}
+	tn.mu.RUnlock()
 	out := make([]campaignInfo, 0, len(crs))
 	for _, cr := range crs {
 		out = append(out, campaignInfoOf(cr))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out, "count": len(out), "next_cursor": next})
 }
 
 // handleCreateCampaign validates the spec synchronously, then starts the
@@ -167,19 +177,29 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	s.nextCampaignID++
+	tn := s.tenant(r)
+	tn.mu.Lock()
+	// Quota check and insert share one critical section, so concurrent
+	// creates cannot both squeeze under the cap.
+	if max := tn.quotas.MaxCampaigns; max > 0 && len(tn.campaigns) >= max {
+		inUse := len(tn.campaigns)
+		tn.mu.Unlock()
+		writeQuotaError(w, "campaigns", max, inUse)
+		return
+	}
+	tn.nextCampaignID++
 	cr := &campaignRecord{
-		ID:      fmt.Sprintf("c%d", s.nextCampaignID),
+		ID:      fmt.Sprintf("c%d", tn.nextCampaignID),
 		Created: s.clock(),
 		Spec:    spec,
+		tn:      tn,
 		state:   "running",
 		done:    make(chan struct{}),
 	}
-	s.campaigns[cr.ID] = cr
-	s.mu.Unlock()
-	if s.store != nil {
-		s.store.emit(recCampaignStarted, campaignStartedRec{
+	tn.campaigns[cr.ID] = cr
+	tn.mu.Unlock()
+	if tn.store != nil {
+		tn.store.emit(recCampaignStarted, campaignStartedRec{
 			ID: cr.ID, Spec: spec, Created: cr.Created,
 		})
 	}
@@ -192,6 +212,7 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 // counters (and the journal records they emit) advance deterministically
 // even though the pool interleaves the underlying runs.
 func (s *Server) executeCampaign(cr *campaignRecord) {
+	st := cr.tn.store
 	spec := cr.Spec
 	if spec.CheckHook == nil {
 		spec.CheckHook = s.campaignHook
@@ -199,8 +220,8 @@ func (s *Server) executeCampaign(cr *campaignRecord) {
 	res, err := xcbc.RunCampaignObserved(context.Background(), spec,
 		func(out xcbc.CampaignSeedOutcome) {
 			cr.absorb(out)
-			if s.store != nil {
-				s.store.emit(recCampaignSeed, campaignSeedRec{ID: cr.ID, Outcome: out})
+			if st != nil {
+				st.emit(recCampaignSeed, campaignSeedRec{ID: cr.ID, Outcome: out})
 			}
 		})
 	var state, errMsg string
@@ -212,8 +233,8 @@ func (s *Server) executeCampaign(cr *campaignRecord) {
 	cr.mu.Lock()
 	cr.state, cr.errMsg = state, errMsg
 	cr.mu.Unlock()
-	if s.store != nil {
-		s.store.emit(recCampaignSettled, campaignSettledRec{ID: cr.ID, State: state, Error: errMsg})
+	if st != nil {
+		st.emit(recCampaignSettled, campaignSettledRec{ID: cr.ID, State: state, Error: errMsg})
 	}
 	close(cr.done)
 }
@@ -221,7 +242,7 @@ func (s *Server) executeCampaign(cr *campaignRecord) {
 // handleCampaign reports one campaign's progress — and, once seeds fail,
 // the shrunk repros.
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
-	cr, ok := s.lookupCampaign(r.PathValue("id"))
+	cr, ok := lookupCampaign(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown campaign")
 		return
@@ -240,6 +261,7 @@ func (st *store) recoverCampaign(m campaignMirror, report *RecoveryReport) *camp
 		ID:      m.Started.ID,
 		Created: m.Started.Created,
 		Spec:    m.Started.Spec,
+		tn:      st.tn,
 		done:    make(chan struct{}),
 	}
 	for _, out := range m.Outcomes {

@@ -14,7 +14,7 @@ import (
 // waitCampaign blocks until the campaign settles and returns its info.
 func waitCampaign(t *testing.T, s *Server, id string) campaignInfo {
 	t.Helper()
-	cr, ok := s.lookupCampaign(id)
+	cr, ok := lookupCampaign(s.openTenant, id)
 	if !ok {
 		t.Fatalf("campaign %s not found", id)
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"time"
 
@@ -69,11 +68,12 @@ func (s *Server) clusterInfoOf(dep *deployment) clusterInfo {
 // retryable); one that settled failed or cancelled answers 422, because
 // waiting will never make it operable — the record exists only for
 // inspection and deletion.
-func (s *Server) openCluster(w http.ResponseWriter, r *http.Request) (*xcbc.Cluster, *deployment, bool) {
-	dep, ok := s.lookupDeployment(r.PathValue("id"))
+func (s *Server) openCluster(w http.ResponseWriter, r *http.Request) (*xcbc.Cluster, *deployment, *tenant, bool) {
+	tn := s.tenant(r)
+	dep, ok := lookupDeployment(tn, r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown cluster")
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	cl, err := dep.cluster()
 	if err != nil {
@@ -95,28 +95,38 @@ func (s *Server) openCluster(w http.ResponseWriter, r *http.Request) (*xcbc.Clus
 			body["hint"] = "day-2 operations need state \"ready\"; poll GET /api/" + Version + "/deployments/" + dep.ID + " or stream its /events until the build settles"
 		}
 		writeJSON(w, status, body)
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return cl, dep, true
+	return cl, dep, tn, true
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	deps := make([]*deployment, 0, len(s.deployments))
-	for _, dep := range s.deployments {
-		deps = append(deps, dep)
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	s.mu.RUnlock()
-	sort.Slice(deps, func(i, j int) bool { return deps[i].ID < deps[j].ID })
+	tn := s.tenant(r)
+	tn.mu.RLock()
+	ids := make([]string, 0, len(tn.deployments))
+	for id := range tn.deployments { //detlint:ordered pageIDs sorts before any ID is used
+		ids = append(ids, id)
+	}
+	ids, next := pageIDs(ids, pg)
+	deps := make([]*deployment, 0, len(ids))
+	for _, id := range ids {
+		deps = append(deps, tn.deployments[id])
+	}
+	tn.mu.RUnlock()
 	out := make([]clusterInfo, 0, len(deps))
 	for _, dep := range deps {
 		out = append(out, s.clusterInfoOf(dep))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"clusters": out})
+	writeJSON(w, http.StatusOK, map[string]any{"clusters": out, "count": len(out), "next_cursor": next})
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	_, dep, ok := s.openCluster(w, r)
+	_, dep, _, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -198,7 +208,7 @@ func jobSpecOf(req submitJobRequest) (xcbc.JobSpec, error) {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	cl, dep, ok := s.openCluster(w, r)
+	cl, dep, tn, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -217,12 +227,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, deployErrorStatus(err), err.Error())
 		return
 	}
-	s.recordOp(clusterOpRec{ID: dep.ID, Op: "job.submit", Job: &req, JobID: job.ID})
+	tn.recordOp(clusterOpRec{ID: dep.ID, Op: "job.submit", Job: &req, JobID: job.ID})
 	writeJSON(w, http.StatusCreated, jobInfoOf(job))
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, _, _, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -262,7 +272,7 @@ func parseJobID(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, _, _, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -279,7 +289,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	cl, dep, ok := s.openCluster(w, r)
+	cl, dep, tn, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -291,7 +301,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, deployErrorStatus(err), err.Error())
 		return
 	}
-	s.recordOp(clusterOpRec{ID: dep.ID, Op: "job.cancel", JobID: id})
+	tn.recordOp(clusterOpRec{ID: dep.ID, Op: "job.cancel", JobID: id})
 	job, _ := cl.Job(id)
 	writeJSON(w, http.StatusOK, jobInfoOf(job))
 }
@@ -313,14 +323,14 @@ type metricsInfo struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cl, dep, ok := s.openCluster(w, r)
+	cl, dep, tn, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
 	// A metrics request polls the nodes (bumping the poll counter), so it
 	// is a recorded, replayed mutation like any other day-2 op.
 	m := cl.Metrics()
-	s.recordOp(clusterOpRec{ID: dep.ID, Op: "metrics"})
+	tn.recordOp(clusterOpRec{ID: dep.ID, Op: "metrics"})
 	out := metricsInfo{
 		At: m.At.String(), Polls: m.Polls, ClusterLoad: m.ClusterLoad,
 		Nodes:        make([]nodeMetricsInfo, 0, len(m.Nodes)),
@@ -344,7 +354,7 @@ type alertInfo struct {
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, _, _, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -381,7 +391,7 @@ type validateResponse struct {
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
-	cl, _, ok := s.openCluster(w, r)
+	cl, _, _, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -445,7 +455,7 @@ func updatePolicyOf(p string) (xcbc.UpdatePolicy, error) {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
-	cl, dep, ok := s.openCluster(w, r)
+	cl, dep, tn, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -459,7 +469,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	// so a recovery replay re-applies the same update window.
 	now := s.clock()
 	check := cl.CheckUpdates(policy, now)
-	s.recordOp(clusterOpRec{ID: dep.ID, Op: "updates", Policy: p, At: now})
+	tn.recordOp(clusterOpRec{ID: dep.ID, Op: "updates", Policy: p, At: now})
 	out := updatesInfo{
 		Policy:       policy.String(),
 		PendingTotal: check.PendingTotal(),
@@ -480,7 +490,7 @@ type advanceRequest struct {
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
-	cl, dep, ok := s.openCluster(w, r)
+	cl, dep, tn, ok := s.openCluster(w, r)
 	if !ok {
 		return
 	}
@@ -504,6 +514,6 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := cl.Advance(d)
-	s.recordOp(clusterOpRec{ID: dep.ID, Op: "advance", Duration: req.Duration})
+	tn.recordOp(clusterOpRec{ID: dep.ID, Op: "advance", Duration: req.Duration})
 	writeJSON(w, http.StatusOK, map[string]string{"virtual_now": now.String()})
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -28,12 +27,15 @@ const (
 	maxFleetTotalNodes = 16384
 )
 
-// fleetRecord is one managed fleet plus its scenario run history.
+// fleetRecord is one managed fleet plus its scenario run history. tn is
+// the owning tenant, so the run executor (shared by the live path and
+// recovery) journals through the right shard's store.
 type fleetRecord struct {
 	ID      string
 	Name    string
 	Created time.Time
 	Fleet   *xcbc.Fleet
+	tn      *tenant
 
 	mu      sync.Mutex
 	runs    []*scenarioRun
@@ -116,26 +118,36 @@ func (s *Server) fleetInfoOf(fr *fleetRecord, withMembers bool) fleetInfo {
 	return info
 }
 
-func (s *Server) lookupFleet(id string) (*fleetRecord, bool) {
-	s.mu.RLock()
-	fr, ok := s.fleets[id]
-	s.mu.RUnlock()
+func lookupFleet(tn *tenant, id string) (*fleetRecord, bool) {
+	tn.mu.RLock()
+	fr, ok := tn.fleets[id]
+	tn.mu.RUnlock()
 	return fr, ok
 }
 
 func (s *Server) handleFleets(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	frs := make([]*fleetRecord, 0, len(s.fleets))
-	for _, fr := range s.fleets {
-		frs = append(frs, fr)
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	s.mu.RUnlock()
-	sort.Slice(frs, func(i, j int) bool { return frs[i].ID < frs[j].ID })
+	tn := s.tenant(r)
+	tn.mu.RLock()
+	ids := make([]string, 0, len(tn.fleets))
+	for id := range tn.fleets { //detlint:ordered pageIDs sorts before any ID is used
+		ids = append(ids, id)
+	}
+	ids, next := pageIDs(ids, pg)
+	frs := make([]*fleetRecord, 0, len(ids))
+	for _, id := range ids {
+		frs = append(frs, tn.fleets[id])
+	}
+	tn.mu.RUnlock()
 	out := make([]fleetInfo, 0, len(frs))
 	for _, fr := range frs {
 		out = append(out, s.fleetInfoOf(fr, false))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"fleets": out})
+	writeJSON(w, http.StatusOK, map[string]any{"fleets": out, "count": len(out), "next_cursor": next})
 }
 
 // handleCreateFleet validates the request synchronously, then starts
@@ -164,6 +176,7 @@ func (s *Server) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("members*nodes exceeds the fleet-wide cap of %d simulated nodes", maxFleetTotalNodes))
 		return
 	}
+	tn := s.tenant(r)
 	fl, err := xcbc.NewFleet(fleetSpecOf(req))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -177,21 +190,31 @@ func (s *Server) handleCreateFleet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	s.nextFleetID++
+	tn.mu.Lock()
+	// Quota check and insert share one critical section, so concurrent
+	// creates cannot both squeeze under the cap.
+	if max := tn.quotas.MaxFleets; max > 0 && len(tn.fleets) >= max {
+		inUse := len(tn.fleets)
+		tn.mu.Unlock()
+		fl.Cancel()
+		writeQuotaError(w, "fleets", max, inUse)
+		return
+	}
+	tn.nextFleetID++
 	fr := &fleetRecord{
-		ID:      fmt.Sprintf("f%d", s.nextFleetID),
+		ID:      fmt.Sprintf("f%d", tn.nextFleetID),
 		Name:    req.Name,
 		Created: s.clock(),
 		Fleet:   fl,
+		tn:      tn,
 	}
-	s.fleets[fr.ID] = fr
-	s.mu.Unlock()
-	if s.store != nil {
-		s.store.emit(recFleetCreated, fleetCreatedRec{
+	tn.fleets[fr.ID] = fr
+	tn.mu.Unlock()
+	if tn.store != nil {
+		tn.store.emit(recFleetCreated, fleetCreatedRec{
 			ID: fr.ID, Name: req.Name, Req: req, Created: fr.Created, Provisioned: provisioned,
 		})
-		s.store.attachFleet(fr)
+		tn.store.attachFleet(fr)
 	}
 	writeJSON(w, http.StatusAccepted, s.fleetInfoOf(fr, true))
 }
@@ -208,7 +231,7 @@ func fleetSpecOf(req createFleetRequest) xcbc.FleetSpec {
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	fr, ok := s.lookupFleet(r.PathValue("id"))
+	fr, ok := lookupFleet(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown fleet")
 		return
@@ -223,30 +246,31 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 // trace — so that answers 409 until the run settles.
 func (s *Server) handleDeleteFleet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	fr, ok := s.fleets[id]
+	tn := s.tenant(r)
+	tn.mu.Lock()
+	fr, ok := tn.fleets[id]
 	if ok {
 		fr.mu.Lock()
 		live := fr.runLive
 		fr.mu.Unlock()
 		if live {
-			s.mu.Unlock()
+			tn.mu.Unlock()
 			writeError(w, http.StatusConflict,
 				"a scenario is still running on this fleet; wait for it to settle before deleting")
 			return
 		}
 		if fr.Fleet.Status().Settled() {
-			delete(s.fleets, id)
-			s.mu.Unlock()
-			if s.store != nil {
+			delete(tn.fleets, id)
+			tn.mu.Unlock()
+			if tn.store != nil {
 				fr.Fleet.SetJournalSink(nil)
-				s.store.emit(recFleetDeleted, idRec{ID: id})
+				tn.store.emit(recFleetDeleted, idRec{ID: id})
 			}
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
 	}
-	s.mu.Unlock()
+	tn.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown fleet")
 		return
@@ -277,7 +301,7 @@ type scenarioRunInfo struct {
 	NextCursor int                 `json:"next_cursor"`
 }
 
-func runInfoOf(run *scenarioRun, withEvents bool, cursor int) scenarioRunInfo {
+func runInfoOf(run *scenarioRun, withEvents bool, pg page) scenarioRunInfo {
 	state, result, err := run.snapshot()
 	info := scenarioRunInfo{
 		ID: run.ID, Scenario: run.Scenario, State: state, Created: run.Created,
@@ -293,10 +317,16 @@ func runInfoOf(run *scenarioRun, withEvents bool, cursor int) scenarioRunInfo {
 		trace := result.Trace()
 		info.NextCursor = len(trace)
 		if withEvents {
+			cursor := pg.cursor
 			if cursor > len(trace) {
 				cursor = len(trace)
 			}
-			info.Events = trace[cursor:]
+			end := len(trace)
+			if pg.limit > 0 && cursor+pg.limit < end {
+				end = cursor + pg.limit
+			}
+			info.Events = trace[cursor:end]
+			info.NextCursor = end
 		}
 	}
 	return info
@@ -307,7 +337,8 @@ func runInfoOf(run *scenarioRun, withEvents bool, cursor int) scenarioRunInfo {
 // scenarios would interleave day-2 operations and break the seeded trace —
 // so a second request while one is live answers 409 Conflict.
 func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
-	fr, ok := s.lookupFleet(r.PathValue("id"))
+	tn := s.tenant(r)
+	fr, ok := lookupFleet(tn, r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown fleet")
 		return
@@ -368,18 +399,18 @@ func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
 	fr.runs = append(fr.runs, run)
 	fr.mu.Unlock()
 
-	if s.store != nil {
+	if tn.store != nil {
 		doc, err := sc.JSON()
 		if err != nil {
 			doc = req.Scenario // inline doc as submitted; never nil for builtins
 		}
-		s.store.emit(recScenarioStarted, scenarioStartedRec{
+		tn.store.emit(recScenarioStarted, scenarioStartedRec{
 			FleetID: fr.ID, RunID: run.ID, Name: sc.Name(),
 			Scenario: doc, Created: run.Created,
 		})
 	}
 	go s.executeRun(fr, run, sc, nil)
-	writeJSON(w, http.StatusAccepted, runInfoOf(run, false, 0))
+	writeJSON(w, http.StatusAccepted, runInfoOf(run, false, page{}))
 }
 
 // executeRun drives one scenario run to settlement. The live handler
@@ -389,17 +420,18 @@ func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
 // recorded hash at the recorded cursor, or the run settles as "error"
 // rather than presenting a trace the crashed server never produced.
 func (s *Server) executeRun(fr *fleetRecord, run *scenarioRun, sc *xcbc.Scenario, target *replayTarget) {
+	st := fr.tn.store
 	var obs func(xcbc.TraceEvent)
 	var got uint64
 	var reached bool
-	if s.store != nil {
+	if st != nil {
 		th := newTraceHash()
 		obs = func(ev xcbc.TraceEvent) {
 			cursor, sum := th.add(ev)
 			if target != nil && cursor == target.cursor {
 				got, reached = sum, true
 			}
-			s.store.emit(recScenarioProgress, scenarioProgressRec{
+			st.emit(recScenarioProgress, scenarioProgressRec{
 				FleetID: fr.ID, RunID: run.ID, Cursor: cursor, Hash: sum,
 			})
 		}
@@ -427,18 +459,18 @@ func (s *Server) executeRun(fr *fleetRecord, run *scenarioRun, sc *xcbc.Scenario
 	fr.mu.Lock()
 	fr.runLive = false
 	fr.mu.Unlock()
-	if s.store != nil {
+	if st != nil {
 		rec := scenarioSettledRec{FleetID: fr.ID, RunID: run.ID, State: state, Error: errMsg}
 		if result != nil {
 			if data, jerr := result.ResultJSON(); jerr == nil {
 				rec.Result = data
 			}
 		}
-		s.store.emit(recScenarioSettled, rec)
+		st.emit(recScenarioSettled, rec)
 		// A provision phase may have built the fleet's members mid-run;
 		// record that so recovery re-provisions before restoring results.
 		if fr.Fleet.Provisioned() {
-			s.store.emit(recFleetProvisioned, idRec{ID: fr.ID})
+			st.emit(recFleetProvisioned, idRec{ID: fr.ID})
 		}
 	}
 	close(run.done)
@@ -456,25 +488,41 @@ func (s *Server) lookupRun(fr *fleetRecord, sid string) (*scenarioRun, bool) {
 }
 
 func (s *Server) handleScenarioRuns(w http.ResponseWriter, r *http.Request) {
-	fr, ok := s.lookupFleet(r.PathValue("id"))
+	fr, ok := lookupFleet(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown fleet")
+		return
+	}
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	fr.mu.Lock()
 	runs := append([]*scenarioRun(nil), fr.runs...)
 	fr.mu.Unlock()
-	out := make([]scenarioRunInfo, 0, len(runs))
+	// Runs are appended in creation order with ascending numeric IDs, so
+	// the slice is already cursor-ordered.
+	out := make([]scenarioRunInfo, 0, min(len(runs), pg.limit))
+	next := pg.cursor
 	for _, run := range runs {
-		out = append(out, runInfoOf(run, false, 0))
+		n := numSuffix(run.ID)
+		if n <= pg.cursor {
+			continue
+		}
+		if len(out) >= pg.limit {
+			break
+		}
+		out = append(out, runInfoOf(run, false, page{}))
+		next = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out, "count": len(out), "next_cursor": next})
 }
 
 // handleScenarioRun reports one run; ?cursor=N selects which trace events
 // ride along once the run settles (pass back next_cursor to page).
 func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
-	fr, ok := s.lookupFleet(r.PathValue("id"))
+	fr, ok := lookupFleet(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown fleet")
 		return
@@ -484,24 +532,33 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown scenario run")
 		return
 	}
-	cursor, err := parseCursor(r)
+	pg, err := parsePage(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, runInfoOf(run, true, cursor))
+	writeJSON(w, http.StatusOK, runInfoOf(run, true, pg))
 }
 
 // handleScenarios lists the built-in scenarios a client can POST by name.
+// The list is immutable, so the cursor is a plain offset into it.
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	type builtinInfo struct {
 		Name        string `json:"name"`
 		Description string `json:"description"`
 		Members     int    `json:"members"`
 		Seed        int64  `json:"seed"`
 	}
-	out := make([]builtinInfo, 0, len(xcbc.BuiltinScenarios()))
-	for _, name := range xcbc.BuiltinScenarios() {
+	names := xcbc.BuiltinScenarios()
+	start := min(pg.cursor, len(names))
+	end := min(start+pg.limit, len(names))
+	out := make([]builtinInfo, 0, end-start)
+	for _, name := range names[start:end] {
 		sc, err := xcbc.BuiltinScenario(name)
 		if err != nil {
 			continue
@@ -511,5 +568,5 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 			Members: sc.Members(), Seed: sc.Seed(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out, "count": len(out), "next_cursor": end})
 }

@@ -1,0 +1,76 @@
+package api
+
+// Pagination: every list endpoint (and every journal/trace cursor) reads
+// the same ?cursor=&limit= pair and reports next_cursor in its envelope.
+// Resource listings order by the numeric ID suffix ("d2" before "d10"),
+// and the cursor is an ID floor — "items numbered after N" — so pages
+// are stable under concurrent creation and deletion: an item deleted
+// mid-iteration never shifts the remaining items across a page boundary.
+// Journal and trace cursors keep their sequence-number semantics; limit
+// caps how many events ride along per response.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+const (
+	// defaultPageLimit is how many items a list response carries when the
+	// client does not say; maxPageLimit is the most it may ask for. Every
+	// list endpoint enforces both, so no request reads an unbounded slice
+	// of a registry.
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// page is one validated ?cursor=&limit= pair.
+type page struct {
+	cursor int
+	limit  int
+}
+
+// parsePage validates the request's pagination parameters. A missing
+// cursor starts from the beginning and a missing limit selects the
+// default; malformed or out-of-range values are a 400-level error.
+func parsePage(r *http.Request) (page, error) {
+	pg := page{limit: defaultPageLimit}
+	q := r.URL.Query()
+	if c := q.Get("cursor"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			return pg, fmt.Errorf("cursor must be a non-negative integer")
+		}
+		pg.cursor = n
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 1 || n > maxPageLimit {
+			return pg, fmt.Errorf("limit must be an integer in [1, %d]", maxPageLimit)
+		}
+		pg.limit = n
+	}
+	return pg, nil
+}
+
+// pageIDs selects one page of resource IDs: sort by numeric suffix, skip
+// IDs at or below the cursor, take up to limit. It returns the page and
+// the next cursor (the last returned ID's number; the cursor itself when
+// the page is empty, so clients can poll a stable tail).
+func pageIDs(ids []string, pg page) ([]string, int) {
+	sortByNum(ids)
+	next := pg.cursor
+	out := ids[:0]
+	for _, id := range ids {
+		n := numSuffix(id)
+		if n <= pg.cursor {
+			continue
+		}
+		if len(out) >= pg.limit {
+			break
+		}
+		out = append(out, id)
+		next = n
+	}
+	return out, next
+}

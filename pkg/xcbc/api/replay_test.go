@@ -82,7 +82,7 @@ func synthesizeCrash(t *testing.T, dir string, sc *xcbc.Scenario, cursor int, ha
 // recoveredRun digs the single scenario run out of a recovered server.
 func recoveredRun(t *testing.T, s *Server) *scenarioRun {
 	t.Helper()
-	fr, ok := s.lookupFleet("f1")
+	fr, ok := lookupFleet(s.openTenant, "f1")
 	if !ok {
 		t.Fatal("fleet f1 not recovered")
 	}

@@ -63,6 +63,7 @@ import (
 	"maps"
 	"math"
 	"net/http"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
@@ -114,6 +115,13 @@ type Config struct {
 	// campaign on this server checks — the deterministic fault-injection
 	// seam campaign tests use to plant invariant bugs.
 	CampaignHook xcbc.CampaignCheckHook
+	// Tenants switches the server into multi-tenant mode: every /api/v1
+	// request (except discovery and health) must present one of these
+	// tenants' API keys, and each tenant gets its own resource registries,
+	// rate limit, quotas, and — on a durable server — its own WAL under
+	// DataDir/tenants/<name>. Empty means open mode: one anonymous tenant,
+	// no admission control, the pre-tenancy behavior and disk layout.
+	Tenants []TenantConfig
 }
 
 // routeInfo describes one versioned route, for both mux registration and
@@ -135,21 +143,19 @@ type Server struct {
 	handler    http.Handler
 	deployOpts []xcbc.Option
 	routes     []routeInfo
-	store      *store // nil on a memory-only server
+
+	// tenants are the server's shards, sorted by name. openTenant is the
+	// single anonymous shard when Config.Tenants is empty (open mode), nil
+	// in multi-tenant mode; every resource registry and store lives on a
+	// tenant, never on the Server.
+	tenants    []*tenant
+	openTenant *tenant
 
 	// closing is closed when ListenAndServe begins graceful shutdown so
 	// long-lived streams (SSE) end promptly instead of pinning Shutdown
 	// against its drain deadline.
 	closing     chan struct{}
 	closingOnce sync.Once
-
-	mu             sync.RWMutex
-	deployments    map[string]*deployment
-	nextID         int
-	fleets         map[string]*fleetRecord
-	nextFleetID    int
-	campaigns      map[string]*campaignRecord
-	nextCampaignID int
 
 	// campaignHook is Config.CampaignHook: the test-only planted-bug seam
 	// consulted by every campaign this server runs.
@@ -221,17 +227,28 @@ func (d *deployment) cluster() (*xcbc.Cluster, error) {
 }
 
 // events returns journal events with Seq >= cursor plus the next cursor.
-// Archived journals are complete (recovered from the log, not the capped
-// ring), so their seqs index the slice directly.
-func (d *deployment) events(cursor int) ([]eventInfo, int) {
+// A positive limit caps how many events one response carries; the next
+// cursor then points at the first event not returned, so clients page
+// through with repeated requests. Archived journals are complete
+// (recovered from the log, not the capped ring), so their seqs index the
+// slice directly.
+func (d *deployment) events(cursor, limit int) ([]eventInfo, int) {
 	if d.arch != nil {
 		evs := d.arch.Events
 		if cursor > len(evs) {
 			cursor = len(evs)
 		}
-		return evs[cursor:], len(evs)
+		end := len(evs)
+		if limit > 0 && cursor+limit < end {
+			end = cursor + limit
+		}
+		return evs[cursor:end], end
 	}
 	evs, next := d.Handle.Events(cursor)
+	if limit > 0 && len(evs) > limit {
+		evs = evs[:limit]
+		next = evs[limit-1].Seq + 1
+	}
 	out := make([]eventInfo, 0, len(evs))
 	for _, ev := range evs {
 		out = append(out, eventInfoOf(ev))
@@ -241,47 +258,78 @@ func (d *deployment) events(cursor int) ([]eventInfo, int) {
 
 // New builds a memory-only server for the given configuration. It panics
 // on a Config with DataDir set — durable servers are constructed with
-// Open, whose recovery can fail and must be able to report it.
+// Open, whose recovery can fail and must be able to report it — and on an
+// invalid Tenants list (duplicate names or keys, bad names).
 func New(cfg Config) *Server {
 	if cfg.DataDir != "" {
 		panic("api: Config.DataDir requires api.Open, not api.New")
 	}
-	return newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
 }
 
 // Open builds a server like New and, when cfg.DataDir is set, attaches
-// the durable store: existing state is recovered from the directory's
+// the durable stores: each tenant's state is recovered from its own
 // snapshot and write-ahead log before Open returns (see RecoveryReport
-// for what that entails), and every subsequent mutation is journaled.
-// Callers should Close the server to flush and release the log.
+// for what that entails; in multi-tenant mode the report aggregates all
+// tenants), and every subsequent mutation is journaled. The open tenant
+// journals at the DataDir root; named tenants under DataDir/tenants/.
+// Callers should Close the server to flush and release the logs.
 func Open(cfg Config) (*Server, *RecoveryReport, error) {
-	s := newServer(cfg)
-	if cfg.DataDir == "" {
-		return s, &RecoveryReport{}, nil
-	}
-	st, report, err := openStore(s, cfg)
+	s, err := newServer(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	s.store = st
-	return s, report, nil
+	if cfg.DataDir == "" {
+		return s, &RecoveryReport{}, nil
+	}
+	agg := &RecoveryReport{DataDir: cfg.DataDir}
+	for i, tn := range s.tenants {
+		dir := cfg.DataDir
+		if tn.name != "" {
+			dir = filepath.Join(cfg.DataDir, "tenants", tn.name)
+		}
+		report, err := openStore(s, tn, dir, cfg)
+		if err != nil {
+			s.Close() // release the stores tenants before this one opened
+			return nil, nil, err
+		}
+		if i == 0 && tn.name == "" {
+			// Open mode: the single report, byte-faithful to pre-tenancy.
+			return s, report, nil
+		}
+		agg.merge(report)
+	}
+	return s, agg, nil
 }
 
 // Close stops the server's background work (store watchers, streams) and
-// flushes and closes the write-ahead log. A memory-only server's Close is
-// a cheap no-op. ListenAndServe does not call Close; the caller owns it.
+// flushes and closes every tenant's write-ahead log. A memory-only
+// server's Close is a cheap no-op. ListenAndServe does not call Close;
+// the caller owns it.
 func (s *Server) Close() error {
 	s.closingOnce.Do(func() { close(s.closing) })
-	if s.store != nil {
-		return s.store.close()
+	var errs []error
+	for _, tn := range s.tenants {
+		if tn.store != nil {
+			errs = append(errs, tn.store.close())
+			tn.store = nil
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-func newServer(cfg Config) *Server {
+func newServer(cfg Config) (*Server, error) {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
+	}
+	tenants, open, err := buildTenants(cfg.Tenants)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		set:          repo.NewSet(),
@@ -289,9 +337,8 @@ func newServer(cfg Config) *Server {
 		logger:       cfg.Logger,
 		deployOpts:   cfg.DeployOptions,
 		closing:      make(chan struct{}),
-		deployments:  make(map[string]*deployment),
-		fleets:       make(map[string]*fleetRecord),
-		campaigns:    make(map[string]*campaignRecord),
+		tenants:      tenants,
+		openTenant:   open,
 		campaignHook: cfg.CampaignHook,
 	}
 	for _, r := range cfg.Repos {
@@ -355,8 +402,8 @@ func newServer(cfg Config) *Server {
 	// Everything else is the legacy Yum surface, served over the live set
 	// so runtime mutations through Repos() reach both route families.
 	mux.Handle("/", repo.NewSetServer(clock, s.set))
-	s.handler = s.logged(mux)
-	return s
+	s.handler = s.logged(s.admit(mux))
+	return s, nil
 }
 
 // Repos returns the server's repository set; it is safe to mutate (add,
@@ -460,11 +507,61 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": Version})
 }
 
-// handleIndex serves the discovery document: the API version and the full
-// route listing, so clients can feature-detect capabilities (the cluster
-// day-2 routes in particular) instead of probing with requests.
+// discoveryDoc is the GET /api/v1 document: the API version, the
+// admission and pagination contracts, and the full route listing, in a
+// struct (not a map) so the field order — and therefore the golden test
+// bytes — is pinned.
+type discoveryDoc struct {
+	Version    string              `json:"version"`
+	Auth       discoveryAuth       `json:"auth"`
+	Pagination discoveryPagination `json:"pagination"`
+	Routes     []routeInfo         `json:"routes"`
+}
+
+// discoveryAuth advertises the admission contract so clients can
+// feature-detect multi-tenant mode instead of probing for a 401.
+type discoveryAuth struct {
+	Mode   string   `json:"mode"` // "open" or "api-key"
+	Header string   `json:"header,omitempty"`
+	Exempt []string `json:"exempt,omitempty"`
+}
+
+// discoveryPagination advertises the shared ?cursor=&limit= contract.
+type discoveryPagination struct {
+	Params       string `json:"params"`
+	DefaultLimit int    `json:"default_limit"`
+	MaxLimit     int    `json:"max_limit"`
+	NextCursor   string `json:"next_cursor"`
+}
+
+func (s *Server) discovery() discoveryDoc {
+	auth := discoveryAuth{Mode: "open"}
+	if s.openTenant == nil {
+		auth = discoveryAuth{
+			Mode:   "api-key",
+			Header: "Authorization: Bearer <key> (or X-API-Key: <key>)",
+			Exempt: admitExempt,
+		}
+	}
+	return discoveryDoc{
+		Version: Version,
+		Auth:    auth,
+		Pagination: discoveryPagination{
+			Params:       "?cursor=&limit=",
+			DefaultLimit: defaultPageLimit,
+			MaxLimit:     maxPageLimit,
+			NextCursor:   "every list envelope carries next_cursor; pass it back as ?cursor= to continue where the page ended",
+		},
+		Routes: s.routes,
+	}
+}
+
+// handleIndex serves the discovery document: the API version, the auth
+// and pagination contracts, and the full route listing, so clients can
+// feature-detect capabilities (the cluster day-2 routes in particular)
+// instead of probing with requests.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"version": Version, "routes": s.routes})
+	writeJSON(w, http.StatusOK, s.discovery())
 }
 
 // repoInfo is the JSON shape of one repository.
@@ -651,7 +748,7 @@ func eventInfoOf(ev xcbc.Event) eventInfo {
 		Message: ev.Message, Packages: ev.Packages, Elapsed: ev.Elapsed.String()}
 }
 
-func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool, cursor int) deploymentInfo {
+func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool, pg page) deploymentInfo {
 	info := deploymentInfo{
 		ID:      dep.ID,
 		Path:    dep.Path,
@@ -675,14 +772,14 @@ func (s *Server) deploymentInfoOf(dep *deployment, withEvents bool, cursor int) 
 		}
 	}
 	if withEvents {
-		info.Events, info.NextCursor = dep.events(cursor)
+		info.Events, info.NextCursor = dep.events(pg.cursor, pg.limit)
 		if info.Events == nil {
 			info.Events = []eventInfo{}
 		}
 	} else {
 		// Event-less bodies (list, DELETE-cancel) still report the journal
 		// tip so "pass next_cursor back" holds on every response.
-		_, info.NextCursor = dep.events(math.MaxInt)
+		_, info.NextCursor = dep.events(math.MaxInt, 0)
 	}
 	return info
 }
@@ -703,13 +800,20 @@ func parseCursor(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]deploymentInfo, 0, len(s.deployments))
-	for _, id := range slices.Sorted(maps.Keys(s.deployments)) {
-		out = append(out, s.deploymentInfoOf(s.deployments[id], false, 0))
+	pg, err := parsePage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
+	tn := s.tenant(r)
+	tn.mu.RLock()
+	ids, next := pageIDs(slices.Collect(maps.Keys(tn.deployments)), pg)
+	out := make([]deploymentInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.deploymentInfoOf(tn.deployments[id], false, page{}))
+	}
+	tn.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"deployments": out, "count": len(out), "next_cursor": next})
 }
 
 // createDeploymentRequest provisions a new cluster through the SDK.
@@ -803,6 +907,7 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	tn := s.tenant(r)
 	h, path, err := s.startBuild(req)
 	if err != nil {
 		writeError(w, deployErrorStatus(err), err.Error())
@@ -810,10 +915,19 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 	}
 
 	hw := h.Hardware()
-	s.mu.Lock()
-	s.nextID++
+	tn.mu.Lock()
+	// The quota check shares the insert's critical section so concurrent
+	// creates cannot both squeeze under the cap.
+	if max := tn.quotas.MaxDeployments; max > 0 && len(tn.deployments) >= max {
+		inUse := len(tn.deployments)
+		tn.mu.Unlock()
+		h.Cancel()
+		writeQuotaError(w, "deployments", max, inUse)
+		return
+	}
+	tn.nextID++
 	dep := &deployment{
-		ID:      fmt.Sprintf("d%d", s.nextID),
+		ID:      fmt.Sprintf("d%d", tn.nextID),
 		Path:    path,
 		Created: s.clock(),
 		Req:     req,
@@ -822,16 +936,16 @@ func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) 
 		Nodes:   hw.NodeCount(),
 		Handle:  h,
 	}
-	s.deployments[dep.ID] = dep
-	s.mu.Unlock()
-	if s.store != nil {
-		s.store.emit(recDeploymentCreated, depCreatedRec{
+	tn.deployments[dep.ID] = dep
+	tn.mu.Unlock()
+	if tn.store != nil {
+		tn.store.emit(recDeploymentCreated, depCreatedRec{
 			ID: dep.ID, Path: path, Req: req, Created: dep.Created,
 			Cluster: dep.Cluster, Site: dep.Site, Nodes: dep.Nodes,
 		})
-		s.store.watchDeployment(dep)
+		tn.store.watchDeployment(dep)
 	}
-	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, true, 0))
+	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, true, page{limit: defaultPageLimit}))
 }
 
 // deployErrorStatus maps SDK sentinel errors onto HTTP statuses: bad names
@@ -866,27 +980,28 @@ func deployErrorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func (s *Server) lookupDeployment(id string) (*deployment, bool) {
-	s.mu.RLock()
-	dep, ok := s.deployments[id]
-	s.mu.RUnlock()
+func lookupDeployment(tn *tenant, id string) (*deployment, bool) {
+	tn.mu.RLock()
+	dep, ok := tn.deployments[id]
+	tn.mu.RUnlock()
 	return dep, ok
 }
 
 // handleDeployment reports status. ?cursor=N (default 0) selects which
-// journal events ride along; clients poll by passing back next_cursor.
+// journal events ride along, ?limit= caps the page; clients poll by
+// passing back next_cursor.
 func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
-	dep, ok := s.lookupDeployment(r.PathValue("id"))
+	dep, ok := lookupDeployment(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment")
 		return
 	}
-	cursor, err := parseCursor(r)
+	pg, err := parsePage(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.deploymentInfoOf(dep, true, cursor))
+	writeJSON(w, http.StatusOK, s.deploymentInfoOf(dep, true, pg))
 }
 
 // handleDeploymentEvents streams the journal as Server-Sent Events: one
@@ -894,7 +1009,7 @@ func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request) {
 // `event: state` frame once the deployment settles, after which the stream
 // closes. ?cursor=N resumes mid-journal.
 func (s *Server) handleDeploymentEvents(w http.ResponseWriter, r *http.Request) {
-	dep, ok := s.lookupDeployment(r.PathValue("id"))
+	dep, ok := lookupDeployment(s.tenant(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment")
 		return
@@ -915,7 +1030,7 @@ func (s *Server) handleDeploymentEvents(w http.ResponseWriter, r *http.Request) 
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 		w.WriteHeader(http.StatusOK)
-		evs, _ := dep.events(cursor)
+		evs, _ := dep.events(cursor, 0)
 		for _, ev := range evs {
 			payload, _ := json.Marshal(ev)
 			fmt.Fprintf(w, "data: %s\n\n", payload)
@@ -980,22 +1095,23 @@ func (s *Server) handleDeploymentEvents(w http.ResponseWriter, r *http.Request) 
 // observed settling — while a terminal deployment is removed (204).
 func (s *Server) handleDeleteDeployment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	dep, ok := s.deployments[id]
+	tn := s.tenant(r)
+	tn.mu.Lock()
+	dep, ok := tn.deployments[id]
 	if ok && dep.terminal() {
-		delete(s.deployments, id)
-		s.mu.Unlock()
-		if s.store != nil {
-			s.store.emit(recDeploymentDeleted, idRec{ID: id})
+		delete(tn.deployments, id)
+		tn.mu.Unlock()
+		if tn.store != nil {
+			tn.store.emit(recDeploymentDeleted, idRec{ID: id})
 		}
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	s.mu.Unlock()
+	tn.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment")
 		return
 	}
 	dep.Handle.Cancel()
-	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, false, 0))
+	writeJSON(w, http.StatusAccepted, s.deploymentInfoOf(dep, false, page{}))
 }

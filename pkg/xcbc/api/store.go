@@ -221,6 +221,7 @@ func newMirror() *mirror {
 // watcher goroutines that feed journal events into it.
 type store struct {
 	srv       *Server
+	tn        *tenant
 	log       *wal.Log
 	snapEvery int
 	resume    bool
@@ -286,16 +287,16 @@ type RecoveryReport struct {
 	Elapsed time.Duration `json:"elapsed"`
 }
 
-// openStore opens (or creates) the WAL under cfg.DataDir, rebuilds the
+// openStore opens (or creates) the tenant's WAL under dir, rebuilds the
 // mirror from the newest snapshot plus the log tail, and materializes the
-// server's live resources from it. Recovery is synchronous: when openStore
+// tenant's live resources from it. Recovery is synchronous: when openStore
 // returns, every recovered resource is queryable and every in-flight
 // scenario run has been replayed and verified.
-func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
+func openStore(s *Server, tn *tenant, dir string, cfg Config) (*RecoveryReport, error) {
 	start := time.Now()
-	l, rec, err := wal.Open(cfg.DataDir, wal.Options{})
+	l, rec, err := wal.Open(dir, wal.Options{})
 	if err != nil {
-		return nil, nil, fmt.Errorf("api: opening store: %w", err)
+		return nil, fmt.Errorf("api: opening store: %w", err)
 	}
 	snapEvery := cfg.SnapshotEvery
 	if snapEvery <= 0 {
@@ -303,6 +304,7 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	}
 	st := &store{
 		srv:       s,
+		tn:        tn,
 		log:       l,
 		snapEvery: snapEvery,
 		resume:    cfg.ResumeInterrupted,
@@ -311,7 +313,7 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	}
 	st.ctx, st.cancel = context.WithCancel(context.Background())
 	report := &RecoveryReport{
-		DataDir:      cfg.DataDir,
+		DataDir:      dir,
 		SnapshotSeq:  rec.SnapshotSeq,
 		Records:      len(rec.Records),
 		Repaired:     rec.Repaired,
@@ -319,7 +321,7 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	}
 	if rec.Snapshot != nil {
 		if err := json.Unmarshal(rec.Snapshot, st.m); err != nil {
-			return nil, nil, errors.Join(fmt.Errorf("api: decoding snapshot: %w", err), l.Close())
+			return nil, errors.Join(fmt.Errorf("api: decoding snapshot: %w", err), l.Close())
 		}
 		if st.m.Deployments == nil {
 			st.m.Deployments = make(map[string]*depMirror)
@@ -336,15 +338,40 @@ func openStore(s *Server, cfg Config) (*store, *RecoveryReport, error) {
 	}
 	// Attach before materializing: recovery replays in-flight scenario runs
 	// through the same executeRun the live path uses, and that path finds
-	// its observer (and journals replay progress) through s.store.
-	s.store = st
+	// its observer (and journals replay progress) through the tenant's store.
+	tn.store = st
 	if err := st.materialize(report); err != nil {
 		st.cancel()
-		s.store = nil
-		return nil, nil, errors.Join(err, l.Close())
+		tn.store = nil
+		return nil, errors.Join(err, l.Close())
 	}
 	report.Elapsed = time.Since(start)
-	return st, report, nil
+	return report, nil
+}
+
+// merge folds another tenant's recovery report into this aggregate, for
+// the multi-tenant Open summary: counts sum, repair flags accumulate, and
+// the snapshot sequence reports the furthest-ahead shard.
+func (r *RecoveryReport) merge(o *RecoveryReport) {
+	if o.SnapshotSeq > r.SnapshotSeq {
+		r.SnapshotSeq = o.SnapshotSeq
+	}
+	r.Records += o.Records
+	r.Repaired = r.Repaired || o.Repaired
+	r.DroppedBytes += o.DroppedBytes
+	r.Deployments += o.Deployments
+	r.Rebuilt += o.Rebuilt
+	r.Archived += o.Archived
+	r.Interrupted += o.Interrupted
+	r.Resumed += o.Resumed
+	r.OpsReplayed += o.OpsReplayed
+	r.Fleets += o.Fleets
+	r.Runs += o.Runs
+	r.Replayed += o.Replayed
+	r.ReplayMismatches += o.ReplayMismatches
+	r.Campaigns += o.Campaigns
+	r.CampaignsInterrupted += o.CampaignsInterrupted
+	r.Elapsed += o.Elapsed
 }
 
 // close stops the store's watchers, flushes any queued group commit and
@@ -652,11 +679,11 @@ type replayTarget struct {
 	hash   uint64
 }
 
-// materialize turns the recovered mirror into live server resources. It
-// runs with the server constructed but not yet serving, so it takes the
-// server's locks only for map writes.
+// materialize turns the recovered mirror into the tenant's live
+// resources. It runs with the server constructed but not yet serving, so
+// it takes the tenant's lock only for map writes.
 func (st *store) materialize(report *RecoveryReport) error {
-	s := st.srv
+	tn := st.tn
 
 	// Deployments first (fleets do not depend on them). Copy what is
 	// needed out of the mirror before spawning watchers that mutate it.
@@ -714,9 +741,9 @@ func (st *store) materialize(report *RecoveryReport) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.deployments[dep.ID] = dep
-		s.mu.Unlock()
+		tn.mu.Lock()
+		tn.deployments[dep.ID] = dep
+		tn.mu.Unlock()
 	}
 
 	report.Fleets = len(fleets)
@@ -725,29 +752,29 @@ func (st *store) materialize(report *RecoveryReport) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.fleets[fr.ID] = fr
-		s.mu.Unlock()
+		tn.mu.Lock()
+		tn.fleets[fr.ID] = fr
+		tn.mu.Unlock()
 	}
 
 	for _, m := range camps {
 		cr := st.recoverCampaign(m, report)
-		s.mu.Lock()
-		s.campaigns[cr.ID] = cr
-		s.mu.Unlock()
+		tn.mu.Lock()
+		tn.campaigns[cr.ID] = cr
+		tn.mu.Unlock()
 	}
 
-	s.mu.Lock()
-	if nextID > s.nextID {
-		s.nextID = nextID
+	tn.mu.Lock()
+	if nextID > tn.nextID {
+		tn.nextID = nextID
 	}
-	if nextFleetID > s.nextFleetID {
-		s.nextFleetID = nextFleetID
+	if nextFleetID > tn.nextFleetID {
+		tn.nextFleetID = nextFleetID
 	}
-	if nextCampaignID > s.nextCampaignID {
-		s.nextCampaignID = nextCampaignID
+	if nextCampaignID > tn.nextCampaignID {
+		tn.nextCampaignID = nextCampaignID
 	}
-	s.mu.Unlock()
+	tn.mu.Unlock()
 	return nil
 }
 
@@ -833,6 +860,7 @@ func (st *store) recoverFleet(m fleetMirror, report *RecoveryReport) (*fleetReco
 		Name:    m.Created.Name,
 		Created: m.Created.Created,
 		Fleet:   fl,
+		tn:      st.tn,
 	}
 
 	// An in-flight run that arms kickstart faults must replay against a
@@ -945,11 +973,11 @@ func replayOp(cl *xcbc.Cluster, op clusterOpRec) error {
 	return fmt.Errorf("unknown op %q", op.Op)
 }
 
-// recordOp journals one replayable day-2 mutation; a no-op on a
-// memory-only server.
-func (s *Server) recordOp(op clusterOpRec) {
-	if s.store != nil {
-		s.store.emit(recClusterOp, op)
+// recordOp journals one replayable day-2 mutation against the tenant's
+// store; a no-op on a memory-only server.
+func (tn *tenant) recordOp(op clusterOpRec) {
+	if tn.store != nil {
+		tn.store.emit(recClusterOp, op)
 	}
 }
 
@@ -972,14 +1000,16 @@ type storeInfo struct {
 	SnapshotAge          string `json:"snapshot_age,omitempty"`
 }
 
-// handleStore reports durability status: whether a data directory is
-// attached, and if so the WAL's size and the age of the newest snapshot.
+// handleStore reports durability status: whether the request's tenant has
+// a data directory attached, and if so the WAL's size and the age of the
+// newest snapshot.
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
+	tn := s.tenant(r)
+	if tn.store == nil {
 		writeJSON(w, http.StatusOK, storeInfo{Durable: false})
 		return
 	}
-	stats := s.store.log.Stats()
+	stats := tn.store.log.Stats()
 	info := storeInfo{
 		Durable:              true,
 		DataDir:              stats.Dir,

@@ -1,0 +1,497 @@
+package api
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xcbc/internal/repo"
+	"xcbc/pkg/xcbc"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// newMTServer builds a multi-tenant in-memory server with a fixed clock
+// (overridable via the returned pointer for rate-limit tests).
+func newMTServer(t *testing.T, tenants ...TenantConfig) (*Server, *time.Time) {
+	t.Helper()
+	xnit, err := xcbc.NewXNITRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2015, 9, 8, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	s := New(Config{Repos: []*repo.Repository{xnit}, Clock: clock, Tenants: tenants})
+	t.Cleanup(func() { s.Close() })
+	return s, &now
+}
+
+// doKey is do with a bearer token attached.
+func doKey(t *testing.T, s *Server, key, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func twoTenants() []TenantConfig {
+	return []TenantConfig{
+		{Name: "alpha", Key: "alpha-key"},
+		{Name: "beta", Key: "beta-key"},
+	}
+}
+
+// TestAdmission4xx is the table-driven 4xx contract: 401 for missing and
+// unknown keys on every route class, 403 with the typed quota body, 429
+// with Retry-After, and 400 for malformed cursor/limit on every paginated
+// route. Every error keeps the {"error": ...} envelope.
+func TestAdmission4xx(t *testing.T) {
+	t.Run("auth", func(t *testing.T) {
+		s, _ := newMTServer(t, twoTenants()...)
+		routes := []struct{ method, path, body string }{
+			{"GET", "/api/v1/deployments", ""},
+			{"POST", "/api/v1/deployments", `{"cluster":"littlefe"}`},
+			{"GET", "/api/v1/fleets", ""},
+			{"GET", "/api/v1/clusters", ""},
+			{"GET", "/api/v1/campaigns", ""},
+			{"GET", "/api/v1/scenarios", ""},
+			{"GET", "/api/v1/store", ""},
+			{"GET", "/api/v1/repos", ""},
+			{"POST", "/api/v1/depsolve", `{"install":["gromacs"]}`},
+		}
+		for _, r := range routes {
+			for _, key := range []string{"", "wrong-key"} {
+				rec := doKey(t, s, key, r.method, r.path, r.body, nil)
+				if rec.Code != http.StatusUnauthorized {
+					t.Errorf("%s %s key=%q: %d, want 401", r.method, r.path, key, rec.Code)
+					continue
+				}
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(rec.Body.Bytes(), &e) != nil || e.Error == "" {
+					t.Errorf("%s %s: 401 body lost the error envelope: %s", r.method, r.path, rec.Body.String())
+				}
+				wantFragment := "unknown API key"
+				if key == "" {
+					wantFragment = "missing API key"
+				}
+				if !strings.Contains(e.Error, wantFragment) {
+					t.Errorf("%s %s key=%q: error %q, want %q", r.method, r.path, key, e.Error, wantFragment)
+				}
+			}
+		}
+		// Bootstrap exemptions: discovery and health answer without a key.
+		for _, path := range []string{"/api/v1", "/api/v1/healthz"} {
+			if rec := doKey(t, s, "", "GET", path, "", nil); rec.Code != http.StatusOK {
+				t.Errorf("GET %s without key: %d, want 200 (admission-exempt)", path, rec.Code)
+			}
+		}
+		// The legacy Yum surface predates keys and stays anonymous.
+		if rec := doKey(t, s, "", "GET", "/", "", nil); rec.Code != http.StatusOK {
+			t.Errorf("GET / without key: %d, want 200 (legacy surface)", rec.Code)
+		}
+	})
+
+	t.Run("quota", func(t *testing.T) {
+		s, _ := newMTServer(t,
+			TenantConfig{Name: "small", Key: "small-key",
+				Quotas: Quotas{MaxDeployments: 1, MaxFleets: 1, MaxCampaigns: 1}},
+			TenantConfig{Name: "big", Key: "big-key"},
+		)
+		creates := []struct {
+			resource, path, body string
+		}{
+			{"deployments", "/api/v1/deployments", `{"cluster":"littlefe"}`},
+			{"fleets", "/api/v1/fleets", `{"name":"q","members":2,"cluster":"littlefe","provision":false}`},
+			{"campaigns", "/api/v1/campaigns", `{"seeds":1,"workers":1}`},
+		}
+		for _, c := range creates {
+			if rec := doKey(t, s, "small-key", "POST", c.path, c.body, nil); rec.Code/100 != 2 {
+				t.Fatalf("first %s create: %d %s", c.resource, rec.Code, rec.Body.String())
+			}
+			var qe quotaError
+			rec := doKey(t, s, "small-key", "POST", c.path, c.body, &qe)
+			if rec.Code != http.StatusForbidden {
+				t.Fatalf("second %s create: %d, want 403", c.resource, rec.Code)
+			}
+			if qe.Code != "quota_exceeded" || qe.Resource != c.resource || qe.Limit != 1 || qe.InUse != 1 || qe.Err == "" {
+				t.Errorf("%s quota body: %+v", c.resource, qe)
+			}
+			// The sibling tenant is not constrained by small's quota.
+			if rec := doKey(t, s, "big-key", "POST", c.path, c.body, nil); rec.Code/100 != 2 {
+				t.Errorf("big tenant %s create hit small's quota: %d", c.resource, rec.Code)
+			}
+		}
+	})
+
+	t.Run("rate-limit", func(t *testing.T) {
+		s, now := newMTServer(t,
+			TenantConfig{Name: "slow", Key: "slow-key", RateLimit: 1, Burst: 2},
+			TenantConfig{Name: "free", Key: "free-key"},
+		)
+		for i := 0; i < 2; i++ {
+			if rec := doKey(t, s, "slow-key", "GET", "/api/v1/fleets", "", nil); rec.Code != http.StatusOK {
+				t.Fatalf("burst request %d: %d", i, rec.Code)
+			}
+		}
+		var rle rateLimitError
+		rec := doKey(t, s, "slow-key", "GET", "/api/v1/fleets", "", &rle)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("over-budget request: %d, want 429", rec.Code)
+		}
+		if ra := rec.Header().Get("Retry-After"); ra != "1" {
+			t.Errorf("Retry-After = %q, want \"1\" (1 token at 1 req/s)", ra)
+		}
+		if rle.Code != "rate_limited" || rle.Err == "" || rle.RetryAfter == "" {
+			t.Errorf("429 body: %+v", rle)
+		}
+		// An unlimited sibling is unaffected; time refills the bucket.
+		if rec := doKey(t, s, "free-key", "GET", "/api/v1/fleets", "", nil); rec.Code != http.StatusOK {
+			t.Errorf("free tenant rate-limited: %d", rec.Code)
+		}
+		*now = now.Add(2 * time.Second)
+		if rec := doKey(t, s, "slow-key", "GET", "/api/v1/fleets", "", nil); rec.Code != http.StatusOK {
+			t.Errorf("after refill: %d, want 200", rec.Code)
+		}
+	})
+
+	t.Run("pagination-400", func(t *testing.T) {
+		s, _ := newMTServer(t, twoTenants()...)
+		doKey(t, s, "alpha-key", "POST", "/api/v1/fleets",
+			`{"name":"p","members":2,"cluster":"littlefe","provision":false}`, nil)
+		paths := []string{
+			"/api/v1/deployments",
+			"/api/v1/fleets",
+			"/api/v1/clusters",
+			"/api/v1/campaigns",
+			"/api/v1/scenarios",
+			"/api/v1/fleets/f1/scenarios",
+		}
+		bad := []string{"cursor=-1", "cursor=x", "limit=0", "limit=1001", "limit=x"}
+		for _, path := range paths {
+			for _, q := range bad {
+				rec := doKey(t, s, "alpha-key", "GET", path+"?"+q, "", nil)
+				if rec.Code != http.StatusBadRequest {
+					t.Errorf("GET %s?%s: %d, want 400", path, q, rec.Code)
+					continue
+				}
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(rec.Body.Bytes(), &e) != nil || e.Error == "" {
+					t.Errorf("GET %s?%s: 400 body lost the error envelope: %s", path, q, rec.Body.String())
+				}
+			}
+			// The happy path still answers with the pagination fields.
+			var env map[string]any
+			if rec := doKey(t, s, "alpha-key", "GET", path+"?limit=1", "", &env); rec.Code != http.StatusOK {
+				t.Errorf("GET %s?limit=1: %d", path, rec.Code)
+			} else if _, ok := env["next_cursor"]; !ok {
+				t.Errorf("GET %s: envelope missing next_cursor: %v", path, env)
+			}
+		}
+	})
+}
+
+// TestCrossTenantIsolation hammers two tenants concurrently (create,
+// list, get, delete) and asserts the shards never bleed: a tenant's
+// listings only ever show its own resources, and another tenant's IDs
+// answer 404 on GET and DELETE. Run under -race this also proves the
+// shard locking.
+func TestCrossTenantIsolation(t *testing.T) {
+	s, _ := newMTServer(t, twoTenants()...)
+	tenants := []struct{ key, name string }{
+		{"alpha-key", "alpha"},
+		{"beta-key", "beta"},
+	}
+	const rounds = 20
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(key, name string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				body := fmt.Sprintf(`{"name":"%s-%d","members":2,"cluster":"littlefe","provision":false}`, name, i)
+				var created struct {
+					ID string `json:"id"`
+				}
+				if rec := doKey(t, s, key, "POST", "/api/v1/fleets", body, &created); rec.Code != http.StatusAccepted {
+					t.Errorf("%s create %d: %d", name, i, rec.Code)
+					return
+				}
+				var list struct {
+					Fleets []struct {
+						Name string `json:"name"`
+					} `json:"fleets"`
+				}
+				doKey(t, s, key, "GET", "/api/v1/fleets?limit=1000", "", &list)
+				for _, f := range list.Fleets {
+					if !strings.HasPrefix(f.Name, name+"-") {
+						t.Errorf("%s listing leaked foreign fleet %q", name, f.Name)
+						return
+					}
+				}
+				if i%3 == 0 {
+					doKey(t, s, key, "DELETE", "/api/v1/fleets/"+created.ID, "", nil)
+				}
+			}
+		}(tn.key, tn.name)
+	}
+	wg.Wait()
+
+	// Alpha creates a fleet beta has never created (IDs are per-tenant
+	// sequences, so pick one beyond beta's range).
+	var probe struct {
+		ID string `json:"id"`
+	}
+	doKey(t, s, "alpha-key", "POST", "/api/v1/fleets",
+		`{"name":"alpha-probe","members":2,"cluster":"littlefe","provision":false}`, &probe)
+	var got struct {
+		Name string `json:"name"`
+	}
+	if rec := doKey(t, s, "alpha-key", "GET", "/api/v1/fleets/"+probe.ID, "", &got); rec.Code != http.StatusOK || got.Name != "alpha-probe" {
+		t.Fatalf("owner GET %s: %d %q", probe.ID, rec.Code, got.Name)
+	}
+	// Beta sees alpha's ID as its own shard's namespace: either 404, or a
+	// beta-owned fleet — never alpha's.
+	var foreign struct {
+		Name string `json:"name"`
+	}
+	rec := doKey(t, s, "beta-key", "GET", "/api/v1/fleets/"+probe.ID, "", nil)
+	if rec.Code == http.StatusOK {
+		_ = json.Unmarshal(rec.Body.Bytes(), &foreign)
+		if foreign.Name == "alpha-probe" {
+			t.Fatalf("beta read alpha's fleet %s", probe.ID)
+		}
+	}
+	// A DELETE through the wrong tenant must not remove alpha's fleet.
+	doKey(t, s, "beta-key", "DELETE", "/api/v1/fleets/"+probe.ID, "", nil)
+	if rec := doKey(t, s, "alpha-key", "GET", "/api/v1/fleets/"+probe.ID, "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("alpha's fleet gone after beta's DELETE: %d", rec.Code)
+	}
+}
+
+// TestTenantDurability proves the per-tenant store seam: each named
+// tenant journals under DataDir/tenants/<name>, and a restart recovers
+// every shard with tenancy intact.
+func TestTenantDurability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := func(c *Config) { c.Tenants = twoTenants() }
+
+	s1, _ := openDurable(t, dir, cfg)
+	if rec := doKey(t, s1, "alpha-key", "POST", "/api/v1/fleets",
+		`{"name":"alpha-f","members":2,"cluster":"littlefe","provision":false}`, nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("alpha create: %d", rec.Code)
+	}
+	if rec := doKey(t, s1, "beta-key", "POST", "/api/v1/deployments",
+		`{"cluster":"littlefe"}`, nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("beta create: %d", rec.Code)
+	}
+	waitState(t, s1, "beta-key", "/api/v1/deployments/d1")
+	s1.Close()
+
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := os.Stat(filepath.Join(dir, "tenants", name)); err != nil {
+			t.Errorf("tenant %s has no journal directory: %v", name, err)
+		}
+	}
+
+	s2, rep := openDurable(t, dir, cfg)
+	defer s2.Close()
+	if rep.Fleets != 1 || rep.Deployments != 1 {
+		t.Fatalf("merged recovery report: %+v, want 1 fleet + 1 deployment", rep)
+	}
+	var fl struct {
+		Fleets []struct {
+			Name string `json:"name"`
+		} `json:"fleets"`
+	}
+	doKey(t, s2, "alpha-key", "GET", "/api/v1/fleets", "", &fl)
+	if len(fl.Fleets) != 1 || fl.Fleets[0].Name != "alpha-f" {
+		t.Fatalf("alpha recovered fleets: %+v", fl)
+	}
+	var dl struct {
+		Deployments []json.RawMessage `json:"deployments"`
+	}
+	doKey(t, s2, "beta-key", "GET", "/api/v1/deployments", "", &dl)
+	if len(dl.Deployments) != 1 {
+		t.Fatalf("beta recovered %d deployments, want 1", len(dl.Deployments))
+	}
+	// The shards did not bleed across the restart.
+	doKey(t, s2, "beta-key", "GET", "/api/v1/fleets", "", &fl)
+	if len(fl.Fleets) != 0 {
+		t.Fatalf("beta recovered alpha's fleets: %+v", fl)
+	}
+	doKey(t, s2, "alpha-key", "GET", "/api/v1/deployments", "", &dl)
+	if len(dl.Deployments) != 0 {
+		t.Fatalf("alpha recovered beta's deployments: %+v", dl)
+	}
+}
+
+// waitState polls a deployment until it leaves the building states, so
+// Close never races a build mid-journal in this test.
+func waitState(t *testing.T, s *Server, key, path string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var info struct {
+			State string `json:"state"`
+		}
+		doKey(t, s, key, "GET", path, "", &info)
+		switch info.State {
+		case "ready", "failed", "cancelled":
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("deployment never settled")
+}
+
+// TestCrashRestartSeedsTenants is the tenancy extension of
+// TestCrashRestartSeeds: seeded create/crash/recover cycles where every
+// cycle runs two tenants, and recovery must restore each shard's
+// resources to its own tenant.
+func TestCrashRestartSeedsTenants(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	keys := []string{"alpha-key", "beta-key"}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := func(c *Config) {
+				c.Tenants = twoTenants()
+				c.SnapshotEvery = 2 + seed
+			}
+			perTenant := 1 + seed%2
+			s1, _ := openDurable(t, dir, cfg)
+			for i := 0; i < perTenant; i++ {
+				for _, key := range keys {
+					body := fmt.Sprintf(`{"cluster":"littlefe","parallelism":%d}`, 1+seed%4)
+					if rec := doKey(t, s1, key, "POST", "/api/v1/deployments", body, nil); rec.Code != 202 {
+						t.Fatalf("create: %d", rec.Code)
+					}
+				}
+			}
+			time.Sleep(time.Duration(seed) * 2 * time.Millisecond)
+			s1.Close()
+
+			s2, rep := openDurable(t, dir, cfg)
+			if rep.Deployments != perTenant*2 {
+				t.Fatalf("recovered %d deployments, want %d (report %+v)", rep.Deployments, perTenant*2, rep)
+			}
+			for _, key := range keys {
+				var list struct {
+					Deployments []json.RawMessage `json:"deployments"`
+					Count       int               `json:"count"`
+				}
+				if rec := doKey(t, s2, key, "GET", "/api/v1/deployments", "", &list); rec.Code != 200 {
+					t.Fatalf("list after recovery: %d", rec.Code)
+				}
+				if list.Count != perTenant {
+					t.Fatalf("tenant %s recovered %d deployments, want %d", key, list.Count, perTenant)
+				}
+			}
+			s2.Close()
+		})
+	}
+}
+
+// TestDiscoveryGolden pins the discovery document byte for byte, so any
+// drift in the route table or the advertised auth/pagination contract
+// shows up as a reviewed diff (regenerate with go test -run
+// TestDiscoveryGolden -update ./pkg/xcbc/api/).
+func TestDiscoveryGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "discovery.golden")
+	check := func(t *testing.T, name string, s *Server) {
+		rec := do(t, s, "GET", "/api/v1", "", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /api/v1: %d", rec.Code)
+		}
+		var pretty json.RawMessage = rec.Body.Bytes()
+		out, err := json.MarshalIndent(pretty, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, '\n')
+		path := golden
+		if name != "" {
+			path = strings.TrimSuffix(golden, ".golden") + "-" + name + ".golden"
+		}
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create it)", err)
+		}
+		if string(want) != string(out) {
+			t.Errorf("discovery document drifted from %s:\n got: %s\nwant: %s\n(run with -update if the change is intended)", path, out, want)
+		}
+	}
+	t.Run("open", func(t *testing.T) { check(t, "", newTestServer(t)) })
+	t.Run("multi-tenant", func(t *testing.T) {
+		s, _ := newMTServer(t, twoTenants()...)
+		check(t, "mt", s)
+	})
+}
+
+// TestDiscoveryAdvertisesContracts spot-checks the semantic content the
+// golden file pins syntactically.
+func TestDiscoveryAdvertisesContracts(t *testing.T) {
+	s, _ := newMTServer(t, twoTenants()...)
+	var doc struct {
+		Auth struct {
+			Mode   string   `json:"mode"`
+			Header string   `json:"header"`
+			Exempt []string `json:"exempt"`
+		} `json:"auth"`
+		Pagination struct {
+			Params       string `json:"params"`
+			DefaultLimit int    `json:"default_limit"`
+			MaxLimit     int    `json:"max_limit"`
+		} `json:"pagination"`
+	}
+	doKey(t, s, "", "GET", "/api/v1", "", &doc)
+	if doc.Auth.Mode != "api-key" || !strings.Contains(doc.Auth.Header, "Bearer") || len(doc.Auth.Exempt) != 2 {
+		t.Errorf("auth contract: %+v", doc.Auth)
+	}
+	if doc.Pagination.DefaultLimit != defaultPageLimit || doc.Pagination.MaxLimit != maxPageLimit || doc.Pagination.Params == "" {
+		t.Errorf("pagination contract: %+v", doc.Pagination)
+	}
+	open := newTestServer(t)
+	doKey(t, open, "", "GET", "/api/v1", "", &doc)
+	if doc.Auth.Mode != "open" {
+		t.Errorf("open-mode auth mode = %q", doc.Auth.Mode)
+	}
+}

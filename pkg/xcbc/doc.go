@@ -68,7 +68,10 @@
 // The HTTP control plane in pkg/xcbc/api serves this SDK as a versioned
 // JSON REST API: deployments at /api/v1/deployments, the day-2 cluster
 // surface at /api/v1/clusters/{id} (jobs, metrics, alerts, validate,
-// updates, advance), and a discovery document at GET /api/v1. See
+// updates, advance), and a discovery document at GET /api/v1. With
+// api.Config.Tenants the control plane is multi-tenant: API keys, per-
+// tenant rate limits and quotas, and per-tenant durable state (clients
+// send Authorization: Bearer <key>; clusterctl takes -api-key). See
 // DESIGN.md at the repository root for the architecture and the API
 // versioning policy.
 package xcbc

@@ -41,6 +41,7 @@ run .                    'BenchmarkAPIDepsolve$'            3000x
 run .                    'BenchmarkBuildXCBC'               200x
 run .                    'BenchmarkFleetProvision100$'      50x
 run .                    'BenchmarkScenarioChaosKickstart$' 20x
+run .                    'BenchmarkAPIUnderLoad'            2000x
 run ./internal/wal/      'BenchmarkWALAppend'               2000000x
 run ./internal/campaign/ 'BenchmarkCampaignSweep32$'        3x
 
